@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the simulator's hot components.
+
+Not paper figures — these time the substrate itself (coherent accesses,
+Inheritance Tracking, the metadata map, log buffers) so performance
+regressions in the simulator are visible independently of the
+experiment-level numbers.
+"""
+
+import itertools
+
+from repro.accel import InheritanceTracking
+from repro.capture.events import Record
+from repro.capture.log_buffer import LogBuffer
+from repro.common.config import LogBufferConfig, SimulationConfig
+from repro.cpu.engine import Engine
+from repro.isa import instructions as ins
+from repro.lifeguards.metadata import MetadataMap
+from repro.memory.coherence import CoherentMemorySystem
+
+
+def test_coherent_access_throughput(benchmark):
+    memsys = CoherentMemorySystem(SimulationConfig.for_threads(2),
+                                  num_cores=4)
+    addresses = [0x1000_0000 + i * 64 for i in range(256)]
+    counter = itertools.count()
+
+    def run():
+        rid = next(counter)
+        core = rid % 4
+        for addr in addresses:
+            memsys.access(core, addr, 4, core % 2 == 0, rid)
+
+    benchmark(run)
+
+
+def test_inheritance_tracking_throughput(benchmark):
+    ops = []
+    for i in range(64):
+        slot = 0x1000_0000 + (i % 16) * 64
+        ops.append(ins.load(i % 8, slot))
+        ops.append(ins.alu(i % 8, (i + 1) % 8, (i + 2) % 8))
+        ops.append(ins.store(slot, i % 8))
+
+    def run():
+        it = InheritanceTracking()
+        for rid, op in enumerate(ops, start=1):
+            it.process(Record.from_op(0, rid, op))
+        it.flush_all()
+
+    benchmark(run)
+
+
+def test_metadata_map_throughput(benchmark):
+    metadata = MetadataMap(2)
+
+    def run():
+        for i in range(512):
+            metadata.set_access(0x4000_0000 + i * 4, 4, i & 1)
+        total = 0
+        for i in range(512):
+            total += metadata.get_access(0x4000_0000 + i * 4, 4)
+        return total
+
+    benchmark(run)
+
+
+def test_log_buffer_throughput(benchmark):
+    engine = Engine()
+    log = LogBuffer(engine, LogBufferConfig(size_bytes=64 * 1024), "bench")
+    records = [Record.from_op(0, rid, ins.nop()) for rid in range(1, 1025)]
+
+    def run():
+        for record in records:
+            log.try_append(record)
+        while len(log):
+            log.pop()
+
+    benchmark(run)
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    """Simulated instructions per wall-clock second for a parallel run."""
+    from repro import SimulationConfig as Config, TaintCheck, \
+        build_workload, run_parallel_monitoring
+
+    def run():
+        return run_parallel_monitoring(
+            build_workload("racy_counters", 2), TaintCheck,
+            Config.for_threads(2))
+
+    result = benchmark(run)
+    assert result.instructions > 0

@@ -1,0 +1,23 @@
+"""Figure 8 (AddrCheck): accelerator ablation.
+
+Two bars per benchmark (the paper omits the limited-reduction bar for
+AddrCheck): NOT ACCELERATED vs ACCELERATED. Expected shape: large wins
+on the check-heavy benchmarks, no practical speedup where AddrCheck's
+overhead is already negligible (the paper's LU and FMM).
+"""
+
+from repro.eval import figure8
+from repro.eval.reporting import render_figure8
+from repro.workloads import PAPER_BENCHMARKS
+
+
+def test_figure8_addrcheck(benchmark, publish, max_threads, scale, seed):
+    result = benchmark.pedantic(
+        figure8,
+        args=("addrcheck", PAPER_BENCHMARKS, max_threads, scale, seed),
+        rounds=1, iterations=1,
+    )
+    publish("figure8_addrcheck", render_figure8(result))
+    for bench in PAPER_BENCHMARKS:
+        # Acceleration never hurts (within simulation noise).
+        assert result.accelerator_speedup(bench) > 0.95, bench

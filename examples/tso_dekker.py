@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Monitoring under TSO: the Figure 5 Dekker pattern.
+
+Under Total Store Ordering both threads' loads can bypass their buffered
+stores, so inferring order from coherence produces a dependence *cycle*
+— naive order enforcement would deadlock the lifeguards. ParaLog's
+versioned metadata (Section 5.5) reverses the problematic R->W arcs:
+the writer's lifeguard snapshots the metadata it is about to overwrite,
+and the reader's lifeguard analyses its load against that version.
+
+This script runs the Dekker workload under both SC and TSO and shows the
+versioning machinery engaging only where the memory model demands it.
+"""
+
+from repro import (
+    MemoryModel,
+    SimulationConfig,
+    TaintCheck,
+    build_workload,
+    run_parallel_monitoring,
+)
+
+
+def run(memory_model):
+    config = SimulationConfig.for_threads(2, memory_model=memory_model)
+    result = run_parallel_monitoring(
+        build_workload("dekker", 2), TaintCheck, config)
+    return result
+
+
+def main():
+    print("Two threads run rounds of: Wr(mine); Rd(theirs)  (Dekker).\n")
+
+    sc = run(MemoryModel.SC)
+    print(f"SC : {sc.total_cycles:,} cycles, "
+          f"arcs={sc.stats['arcs_recorded']}, "
+          f"versions=<not needed>")
+
+    tso = run(MemoryModel.TSO)
+    produced = tso.stats.get("versions_produced", 0)
+    consumed = tso.stats.get("versions_consumed", 0)
+    print(f"TSO: {tso.total_cycles:,} cycles, "
+          f"arcs={tso.stats['arcs_recorded']}, "
+          f"versions produced={produced} consumed={consumed}")
+
+    if produced == 0:
+        print("\nNo SC violations occurred this run (store buffers drained "
+              "fast); try more rounds.")
+    else:
+        print(f"\n{produced} loads bypassed a remote store: each got a "
+              "metadata version instead of a\ndependence arc, so the "
+              "lifeguards never deadlocked — and both runs finished with")
+        print("identical (empty) taint state:",
+              dict(tso.lifeguard_obj.metadata.nonzero_items()) ==
+              dict(sc.lifeguard_obj.metadata.nonzero_items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel``
+package, so PEP 517 editable installs cannot build. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work offline; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

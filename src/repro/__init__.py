@@ -1,0 +1,89 @@
+"""ParaLog reproduction: online parallel monitoring of multithreaded apps.
+
+A from-scratch Python implementation of the system described in
+"ParaLog: Enabling and Accelerating Online Parallel Monitoring of
+Multithreaded Applications" (Vlachos et al., ASPLOS 2010): a simulated
+CMP with coherence-based dependence capture, per-thread event logs,
+order-enforcing lifeguard cores, parallelized hardware accelerators
+(Inheritance Tracking, Idempotent Filters, Metadata TLB), ConflictAlert
+broadcasts, TSO versioned metadata, and the TaintCheck / AddrCheck
+lifeguards — plus the workloads and experiment harness to regenerate the
+paper's figures.
+
+Quickstart::
+
+    from repro import (SimulationConfig, build_workload,
+                       run_parallel_monitoring, TaintCheck)
+
+    workload = build_workload("swaptions", nthreads=4)
+    result = run_parallel_monitoring(
+        workload, TaintCheck, SimulationConfig.for_threads(4))
+    print(result.summary())
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    CaptureMode,
+    LifeguardCostConfig,
+    LogBufferConfig,
+    MemoryModel,
+    ScalePreset,
+    SimulationConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.lifeguards import (
+    AddrCheck,
+    LIFEGUARDS,
+    Lifeguard,
+    LockSet,
+    MemCheck,
+    TaintCheck,
+    Violation,
+)
+from repro.platform import (
+    AcceleratorConfig,
+    RunResult,
+    run_no_monitoring,
+    run_parallel_monitoring,
+    run_timesliced_monitoring,
+)
+from repro.workloads import PAPER_BENCHMARKS, WORKLOADS, Workload, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "AddrCheck",
+    "CacheConfig",
+    "CaptureMode",
+    "ConfigurationError",
+    "DeadlockError",
+    "LIFEGUARDS",
+    "Lifeguard",
+    "LifeguardCostConfig",
+    "LockSet",
+    "LogBufferConfig",
+    "MemCheck",
+    "MemoryModel",
+    "PAPER_BENCHMARKS",
+    "ReproError",
+    "RunResult",
+    "ScalePreset",
+    "SimulationConfig",
+    "SimulationError",
+    "TaintCheck",
+    "Violation",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadError",
+    "build_workload",
+    "run_no_monitoring",
+    "run_parallel_monitoring",
+    "run_timesliced_monitoring",
+]

@@ -1,0 +1,20 @@
+"""Hardware lifeguard accelerators (Section 4).
+
+* :class:`InheritanceTracking` — absorbs register-grain propagation and
+  delivers condensed memory-to-memory events; supports *delayed
+  advertising* by reporting the minimum record id it still holds.
+* :class:`IdempotentFilter` — caches recently seen check events and
+  filters redundant ones; invalidated by ConflictAlert records.
+* :class:`MetadataTLB` — caches application-page to metadata-page
+  mappings, shrinking the metadata address computation cost.
+
+All three are *per lifeguard thread* structures; remote conflicts are
+handled by the delayed-advertising hooks here plus the ConflictAlert
+machinery in :mod:`repro.capture.conflict_alert`.
+"""
+
+from repro.accel.inheritance import InheritanceTracking
+from repro.accel.idempotent import IdempotentFilter
+from repro.accel.mtlb import MetadataTLB
+
+__all__ = ["IdempotentFilter", "InheritanceTracking", "MetadataTLB"]

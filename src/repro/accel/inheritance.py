@@ -1,0 +1,383 @@
+"""Inheritance Tracking (IT).
+
+IT shadows the application's registers in hardware: a load into ``r``
+records "``r`` inherits from address A" *without* delivering the event;
+register movement and computation propagate and merge rows; a store of
+an inheriting register delivers one condensed ``mem_inherit`` event
+instead of the whole chain (Figure 3 of the paper).
+
+A row describes the pending metadata of one register as an OR over
+
+* up to :data:`MAX_SOURCES` *inherits-from addresses* (whose metadata
+  will be read when the row is materialized), and
+* up to :data:`MAX_REG_TERMS` *live registers* (whose lifeguard register
+  metadata is current and will be read at materialization).
+
+An empty row is an immediate (metadata-clear). Live-register terms stay
+valid because any write to a register first flushes every row that
+references it; address terms stay valid through:
+
+* local conflicts — a store/RMW overlapping a recorded inherits-from
+  address flushes the row (as in the sequential design, Section 4.1);
+* remote conflicts — **delayed advertising** (Section 4.2): every row
+  keeps the record id (RID) of the oldest load it depends on, and the
+  thread's advertised progress is held at ``min(held RIDs) - 1``, so a
+  remote writer's dependent event cannot be delivered until the row is
+  gone;
+* high-level conflicts — ConflictAlert records flush the whole table
+  (Section 4.3).
+
+Delivered events are plain tuples; the vocabulary is documented in
+:mod:`repro.lifeguards.base`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.capture.events import Record, RecordKind
+from repro.memory.address import ranges_overlap
+
+#: Maximum inherits-from addresses one register row can hold.
+MAX_SOURCES = 2
+#: Maximum live-register OR-terms one register row can hold.
+MAX_REG_TERMS = 2
+
+
+class _Row:
+    """One IT table row; see the module docstring."""
+
+    __slots__ = ("sources", "regs", "rid")
+
+    def __init__(self, sources: Tuple, regs: Tuple, rid: Optional[int]):
+        self.sources = sources  # tuple of (addr, size)
+        self.regs = regs  # tuple of live register ids
+        self.rid = rid  # oldest source RID (None if no address terms)
+
+
+def _merge_rids(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+class InheritanceTracking:
+    """The IT table for one lifeguard hardware context.
+
+    Rows are keyed by ``(tid, reg)`` so the same structure serves both a
+    dedicated per-thread lifeguard core (parallel monitoring, single tid)
+    and the sequential time-sliced lifeguard, which interleaves records
+    of many application threads through one core.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._rows: Dict[Tuple[int, int], _Row] = {}
+        # Statistics
+        self.absorbed_events = 0
+        self.delivered_condensed = 0
+        self.row_flushes = 0
+        self.full_flushes = 0
+
+    # -- main entry -----------------------------------------------------------
+
+    def process(self, record: Record) -> List[tuple]:
+        """Feed one record through IT; returns the delivered events."""
+        if not self.enabled:
+            return self._passthrough(record)
+
+        kind = record.kind
+        tid = record.tid
+        out: List[tuple] = []
+
+        if kind == RecordKind.LOAD:
+            if record.consume_version is not None:
+                # TSO: versioned loads are always delivered, along with any
+                # pending state that inherits from the same address.
+                out.extend(self.flush_overlapping(record.addr, record.size))
+                out.extend(self._flush_referencing(tid, record.rd))
+                out.append(("load_versioned", record))
+                self._rows.pop((tid, record.rd), None)
+            else:
+                # Absorbing never touches the lifeguard's register value,
+                # so rows referencing rd stay valid (they refer to the
+                # stored metadata, which only handler execution changes).
+                self._rows[(tid, record.rd)] = _Row(
+                    ((record.addr, record.size),), (), record.rid)
+                self.absorbed_events += 1
+                # The *check* half of the load is still delivered: check
+                # lifeguards (MemCheck, AddrCheck) must inspect every
+                # access even when its propagation is deferred; pure
+                # propagation lifeguards (TaintCheck) decline the event
+                # and it costs nothing. The Idempotent Filter is the
+                # accelerator that absorbs these.
+                out.append(("load_check", record))
+
+        elif kind == RecordKind.MOVRR:
+            out.extend(self._absorb_copy(tid, record.rd, record.rs1))
+
+        elif kind == RecordKind.ALU:
+            out.extend(self._process_alu(record))
+
+        elif kind == RecordKind.LOADI:
+            self._rows[(tid, record.rd)] = _Row((), (), None)
+            self.absorbed_events += 1
+
+        elif kind == RecordKind.STORE:
+            out.extend(self._process_store(record))
+
+        elif kind == RecordKind.RMW:
+            out.extend(self.flush_overlapping(record.addr, record.size))
+            out.extend(self._flush_referencing(tid, record.rd))
+            self._rows.pop((tid, record.rd), None)
+            out.append(("rmw", record))
+
+        elif kind == RecordKind.CRITICAL_USE:
+            out.extend(self._flush_reg(tid, record.rs1))
+            out.append(("critical", record))
+
+        elif kind in (RecordKind.HL_BEGIN, RecordKind.HL_END):
+            out.append(("hl", record))
+
+        elif kind == RecordKind.THREAD_EXIT:
+            out.extend(self.flush_thread(tid))
+
+        # NOP and CA_MARK records deliver nothing through IT; CA-triggered
+        # flushes are driven by the consumer pipeline via flush_all().
+        return out
+
+    # -- absorption helpers ------------------------------------------------------
+
+    def _absorb_copy(self, tid: int, rd: int, rs: int) -> List[tuple]:
+        """rd <- rs for moves and unary computation (always absorbable)."""
+        if rd == rs:
+            # A unary in-place update keeps the existing row (or live
+            # metadata) semantically unchanged for OR-propagation.
+            self.absorbed_events += 1
+            return []
+        src = self._rows.get((tid, rs))
+        if src is not None:
+            self._rows[(tid, rd)] = _Row(src.sources, src.regs, src.rid)
+        else:
+            # rs is live: defer by referencing its current metadata.
+            self._rows[(tid, rd)] = _Row((), (rs,), None)
+        self.absorbed_events += 1
+        return []
+
+    def _term_of(self, tid: int, reg: int) -> _Row:
+        row = self._rows.get((tid, reg))
+        if row is not None:
+            return row
+        return _Row((), (reg,), None)
+
+    def _process_alu(self, record: Record) -> List[tuple]:
+        tid = record.tid
+        rd = record.rd
+        out: List[tuple] = []
+        if record.rs2 is None:
+            out.extend(self._absorb_copy(tid, rd, record.rs1))
+            return out
+
+        term1 = self._term_of(tid, record.rs1)
+        term2 = self._term_of(tid, record.rs2)
+        sources = list(term1.sources)
+        for source in term2.sources:
+            if source not in sources:
+                sources.append(source)
+        regs = list(term1.regs)
+        for reg in term2.regs:
+            if reg not in regs:
+                regs.append(reg)
+        if len(sources) <= MAX_SOURCES and len(regs) <= MAX_REG_TERMS:
+            # A self-reference (rd in regs, the accumulator pattern) is
+            # sound: it denotes rd's *stored* metadata, which stays
+            # untouched until this row itself materializes.
+            self._rows[(tid, rd)] = _Row(
+                tuple(sources), tuple(regs), _merge_rids(term1.rid, term2.rid))
+            self.absorbed_events += 1
+            return out
+        # Cannot track the merge: materialize the source rows so their
+        # register metadata is live, then deliver the computation.
+        out.extend(self._flush_reg(tid, record.rs1))
+        if record.rs2 != record.rs1:
+            out.extend(self._flush_reg(tid, record.rs2))
+        out.extend(self._flush_referencing(tid, rd))
+        self._rows.pop((tid, rd), None)
+        out.append(("alu", record))
+        return out
+
+    def _process_store(self, record: Record) -> List[tuple]:
+        tid = record.tid
+        target = (record.addr, record.size)
+        # The consuming register's row performs its deferred reads inside
+        # the mem_inherit handler, *before* the write — so it need not be
+        # pre-flushed, unless a source only partially overlaps the target
+        # (the row would go stale after the write).
+        skip = None
+        row = self._rows.get((tid, record.rs1))
+        if row is not None and all(
+                source == target
+                for source in row.sources
+                if ranges_overlap(source[0], source[1], record.addr, record.size)):
+            skip = (tid, record.rs1)
+        out = self.flush_overlapping(record.addr, record.size, skip=skip)
+        row = self._rows.get((tid, record.rs1))
+        if row is None:
+            out.append(("store", record))
+        else:
+            out.append(("mem_inherit", record.addr, record.size,
+                        row.sources, row.regs, record))
+            self.delivered_condensed += 1
+        return out
+
+    def _passthrough(self, record: Record) -> List[tuple]:
+        """IT disabled: every record becomes a plain delivered event."""
+        kind = record.kind
+        if kind == RecordKind.LOAD:
+            if record.consume_version is not None:
+                return [("load_versioned", record)]
+            return [("load", record)]
+        if kind == RecordKind.STORE:
+            return [("store", record)]
+        if kind == RecordKind.RMW:
+            return [("rmw", record)]
+        if kind == RecordKind.MOVRR:
+            return [("movrr", record)]
+        if kind == RecordKind.ALU:
+            return [("alu", record)]
+        if kind == RecordKind.LOADI:
+            return [("loadi", record)]
+        if kind == RecordKind.CRITICAL_USE:
+            return [("critical", record)]
+        if kind in (RecordKind.HL_BEGIN, RecordKind.HL_END):
+            return [("hl", record)]
+        return []
+
+    # -- flushing --------------------------------------------------------------
+
+    def _flush_row(self, key: Tuple[int, int]) -> List[tuple]:
+        row = self._rows.pop(key, None)
+        if row is None:
+            return []
+        self.row_flushes += 1
+        tid, reg = key
+        out: List[tuple] = []
+        # Materializing this row *writes* reg's stored metadata, so rows
+        # that reference reg's current value must materialize first (the
+        # recursion terminates: each row is popped exactly once, and this
+        # row is already out of the table).
+        out.extend(self._flush_referencing(tid, reg))
+        out.append(("reg_inherit", tid, reg, row.sources, row.regs))
+        return out
+
+    def _flush_reg(self, tid: int, reg: int) -> List[tuple]:
+        return self._flush_row((tid, reg))
+
+    def _flush_referencing(self, tid: int, reg: int) -> List[tuple]:
+        """Flush rows whose live-register terms reference ``reg``.
+
+        Must run before any delivered handler writes ``reg``'s stored
+        metadata — the referencing rows' deferred reads need the old
+        value.
+        """
+        out: List[tuple] = []
+        victims = [
+            key
+            for key, row in self._rows.items()
+            if key[0] == tid and reg in row.regs
+        ]
+        for key in victims:
+            out.extend(self._flush_row(key))
+        return out
+
+    def flush_overlapping(self, addr: int, size: int, skip=None) -> List[tuple]:
+        """Flush every row with an inherits-from range overlapping a write.
+
+        ``skip`` names a row key whose flush is unnecessary because its
+        deferred reads are delivered (and thus performed) by the very
+        event doing the overwrite — the store that consumes it.
+        """
+        out: List[tuple] = []
+        victims = [
+            key
+            for key, row in self._rows.items()
+            if key != skip
+            and any(ranges_overlap(src_addr, src_size, addr, size)
+                    for src_addr, src_size in row.sources)
+        ]
+        for key in victims:
+            out.extend(self._flush_row(key))
+        return out
+
+    def flush_all(self) -> List[tuple]:
+        """Flush the whole table (dependence stall, CA record, threshold)."""
+        out: List[tuple] = []
+        if self._rows:
+            self.full_flushes += 1
+            # Rows referencing live registers must materialize before rows
+            # *of* those registers would be replaced — but materialization
+            # never changes register metadata, so any order is safe.
+            for key in list(self._rows):
+                out.extend(self._flush_row(key))
+        return out
+
+    def flush_rid_holding(self) -> List[tuple]:
+        """Flush every row that pins a record id.
+
+        This is the dependence-stall flush: it lets the thread publish
+        fully accurate progress (deadlock freedom, Section 4.2) while
+        preserving rows that cannot suffer remote conflicts — immediates
+        and pure live-register rows reference no memory, so no remote
+        event can invalidate them.
+        """
+        out: List[tuple] = []
+        victims = [key for key, row in self._rows.items() if row.rid is not None]
+        if victims:
+            self.full_flushes += 1
+        for key in victims:
+            out.extend(self._flush_row(key))
+        return out
+
+    def flush_stale(self, tid: int, rid_floor: int) -> List[tuple]:
+        """Flush rows of ``tid`` holding RIDs below ``rid_floor``.
+
+        The Section 4.2 threshold: long-lived rows (a loop-invariant
+        register inheriting from memory) must not hold the advertised
+        progress arbitrarily far behind.
+        """
+        out: List[tuple] = []
+        victims = [
+            key
+            for key, row in self._rows.items()
+            if key[0] == tid and row.rid is not None and row.rid < rid_floor
+        ]
+        for key in victims:
+            out.extend(self._flush_row(key))
+        return out
+
+    def flush_thread(self, tid: int) -> List[tuple]:
+        out: List[tuple] = []
+        for key in [k for k in self._rows if k[0] == tid]:
+            out.extend(self._flush_row(key))
+        return out
+
+    # -- delayed advertising ----------------------------------------------------
+
+    def min_held_rid(self, tid: int) -> Optional[int]:
+        """The smallest RID still cached for ``tid`` (None when nothing is).
+
+        The thread's advertised progress must stay below this value —
+        the delayed-advertising rule of Section 4.2.
+        """
+        held = [
+            row.rid
+            for key, row in self._rows.items()
+            if key[0] == tid and row.rid is not None
+        ]
+        return min(held) if held else None
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,304 @@
+"""Byte-level event-record codec.
+
+The paper relies on LBA's result that compression brings the average
+event record under one byte; the log-occupancy *model* in
+:mod:`repro.capture.events` simply charges that budget. This module is
+the real thing: a lossless encoder/decoder for record streams, so the
+claim can be measured on our own traces (``benchmarks/bench_compression.py``).
+
+The format mirrors the structure hardware compressors exploit:
+
+* one header byte per record — 4 bits of record kind, a 2-bit size code
+  and two flags (has-extras, address-is-delta-encoded);
+* memory addresses are delta-encoded against the thread's previous
+  access and zigzag-varint packed, so strided streams cost one address
+  byte (a sequential stream of loads costs 3 bytes per record: header +
+  delta + register);
+* register fields pack into one byte (two 4-bit indices);
+* arcs, high-level payloads and version annotations ride in an extras
+  block, each a varint sequence.
+
+Decoding reconstructs records exactly (asserted by roundtrip tests), so
+the measured byte counts are honest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.capture.events import Record, RecordKind
+from repro.common.errors import SimulationError
+
+_SIZE_CODES = {1: 0, 2: 1, 4: 2, 8: 3}
+_SIZE_FROM_CODE = {code: size for size, code in _SIZE_CODES.items()}
+
+_FLAG_EXTRAS = 0x40
+_FLAG_DELTA = 0x80
+
+# Extras tags
+_X_ARCS = 1
+_X_HL = 2
+_X_CONSUME = 3
+_X_PRODUCE = 4
+_X_CRITICAL = 5
+_X_CA = 6
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise SimulationError("varints are unsigned; zigzag first")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+class RecordEncoder:
+    """Stateful per-thread encoder (keeps the address-delta context)."""
+
+    def __init__(self):
+        self._last_addr = 0
+        self.records = 0
+        self.bytes = 0
+
+    def encode(self, record: Record) -> bytes:
+        out = bytearray()
+        kind = int(record.kind)
+        if not 0 < kind < 32:
+            raise SimulationError(f"unencodable record kind {record.kind}")
+        size_code = _SIZE_CODES.get(record.size or 4, 2)
+        header_index = len(out)
+        out.append(0)  # patched below
+
+        header = (kind & 0x0F) | (size_code << 4)
+        if kind >= 16:  # CA_MARK: kind 20 -> stash high bit in extras
+            header = (0x0F) | (size_code << 4)
+
+        if record.is_memory:
+            delta = record.addr - self._last_addr
+            header |= _FLAG_DELTA
+            _write_varint(out, _zigzag(delta))
+            self._last_addr = record.addr
+            # One register per memory op: rd for loads/RMW, rs1 for stores.
+            reg = record.rs1 if record.kind == RecordKind.STORE else record.rd
+            out.append((reg or 0) & 0x0F)
+        elif record.kind in (RecordKind.MOVRR, RecordKind.ALU):
+            out.append(((record.rd or 0) & 0x0F)
+                       | (((record.rs1 or 0) & 0x0F) << 4))
+            if record.kind == RecordKind.ALU:
+                out.append(0xFF if record.rs2 is None
+                           else (record.rs2 & 0x0F))
+        elif record.kind == RecordKind.LOADI:
+            out.append((record.rd or 0) & 0x0F)
+        elif record.kind == RecordKind.CRITICAL_USE:
+            out.append((record.rs1 or 0) & 0x0F)
+
+        extras = self._encode_extras(record)
+        if extras:
+            header |= _FLAG_EXTRAS
+            _write_varint(out, len(extras))
+            out.extend(extras)
+        out[header_index] = header
+
+        encoded = bytes(out)
+        self.records += 1
+        self.bytes += len(encoded)
+        return encoded
+
+    def _encode_extras(self, record: Record) -> bytes:
+        extras = bytearray()
+        if int(record.kind) >= 16 or record.ca_id is not None:
+            extras.append(_X_CA)
+            _write_varint(extras, int(record.kind))
+            _write_varint(extras, record.ca_id or 0)
+            extras.append(1 if record.ca_issuer else 0)
+        if record.arcs:
+            extras.append(_X_ARCS)
+            _write_varint(extras, len(record.arcs))
+            for src_tid, src_rid in record.arcs:
+                _write_varint(extras, src_tid)
+                _write_varint(extras, _zigzag(record.rid - src_rid))
+        if record.hl_kind is not None or record.ranges:
+            extras.append(_X_HL)
+            _write_varint(extras, int(record.hl_kind) if record.hl_kind else 0)
+            _write_varint(extras, len(record.ranges))
+            for start, length in record.ranges:
+                _write_varint(extras, start)
+                _write_varint(extras, length)
+        if record.consume_version is not None:
+            extras.append(_X_CONSUME)
+            version_id, base, length = record.consume_version
+            for value in (version_id, base, length):
+                _write_varint(extras, value)
+        if record.produce_versions:
+            extras.append(_X_PRODUCE)
+            _write_varint(extras, len(record.produce_versions))
+            for version_id, base, length in record.produce_versions:
+                for value in (version_id, base, length):
+                    _write_varint(extras, value)
+        if record.critical_kind is not None:
+            payload = record.critical_kind.encode()
+            extras.append(_X_CRITICAL)
+            _write_varint(extras, len(payload))
+            extras.extend(payload)
+        return bytes(extras)
+
+    @property
+    def average_bytes_per_record(self) -> float:
+        return self.bytes / self.records if self.records else 0.0
+
+
+class RecordDecoder:
+    """Inverse of :class:`RecordEncoder` for one thread's stream."""
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self._last_addr = 0
+        self._rid = 0
+
+    def decode(self, data: bytes) -> Tuple[Record, int]:
+        """Decode one record; returns (record, bytes consumed)."""
+        offset = 0
+        header = data[offset]
+        offset += 1
+        kind_bits = header & 0x0F
+        size = _SIZE_FROM_CODE[(header >> 4) & 0x03]
+
+        self._rid += 1
+        kind = RecordKind(kind_bits) if kind_bits != 0x0F else None
+        record = Record(self.tid, self._rid,
+                        kind if kind is not None else RecordKind.CA_MARK)
+
+        if header & _FLAG_DELTA:
+            raw, offset = _read_varint(data, offset)
+            self._last_addr += _unzigzag(raw)
+            record.addr = self._last_addr
+            record.size = size
+            reg = data[offset] & 0x0F
+            offset += 1
+            if kind == RecordKind.STORE:
+                record.rs1 = reg
+            else:
+                record.rd = reg
+        elif kind in (RecordKind.MOVRR, RecordKind.ALU):
+            regs = data[offset]
+            offset += 1
+            record.rd = regs & 0x0F
+            record.rs1 = (regs >> 4) & 0x0F
+            if kind == RecordKind.ALU:
+                rs2 = data[offset]
+                offset += 1
+                record.rs2 = None if rs2 == 0xFF else rs2
+        elif kind == RecordKind.LOADI:
+            record.rd = data[offset] & 0x0F
+            offset += 1
+        elif kind == RecordKind.CRITICAL_USE:
+            record.rs1 = data[offset] & 0x0F
+            offset += 1
+
+        if header & _FLAG_EXTRAS:
+            length, offset = _read_varint(data, offset)
+            self._decode_extras(record, data[offset:offset + length])
+            offset += length
+        return record, offset
+
+    def _decode_extras(self, record: Record, extras: bytes) -> None:
+        offset = 0
+        from repro.isa.instructions import HLEventKind
+        while offset < len(extras):
+            tag = extras[offset]
+            offset += 1
+            if tag == _X_CA:
+                raw_kind, offset = _read_varint(extras, offset)
+                record.kind = RecordKind(raw_kind)
+                ca_id, offset = _read_varint(extras, offset)
+                record.ca_id = ca_id or None
+                record.ca_issuer = bool(extras[offset])
+                offset += 1
+            elif tag == _X_ARCS:
+                count, offset = _read_varint(extras, offset)
+                for _ in range(count):
+                    src_tid, offset = _read_varint(extras, offset)
+                    raw, offset = _read_varint(extras, offset)
+                    record.add_arc(src_tid, record.rid - _unzigzag(raw))
+            elif tag == _X_HL:
+                raw_hl, offset = _read_varint(extras, offset)
+                record.hl_kind = HLEventKind(raw_hl) if raw_hl else None
+                count, offset = _read_varint(extras, offset)
+                ranges = []
+                for _ in range(count):
+                    start, offset = _read_varint(extras, offset)
+                    length, offset = _read_varint(extras, offset)
+                    ranges.append((start, length))
+                record.ranges = tuple(ranges)
+            elif tag == _X_CONSUME:
+                version_id, offset = _read_varint(extras, offset)
+                base, offset = _read_varint(extras, offset)
+                length, offset = _read_varint(extras, offset)
+                record.consume_version = (version_id, base, length)
+            elif tag == _X_PRODUCE:
+                count, offset = _read_varint(extras, offset)
+                produced = []
+                for _ in range(count):
+                    version_id, offset = _read_varint(extras, offset)
+                    base, offset = _read_varint(extras, offset)
+                    length, offset = _read_varint(extras, offset)
+                    produced.append((version_id, base, length))
+                record.produce_versions = produced
+            elif tag == _X_CRITICAL:
+                length, offset = _read_varint(extras, offset)
+                record.critical_kind = extras[offset:offset + length].decode()
+                offset += length
+            else:
+                raise SimulationError(f"unknown extras tag {tag}")
+
+
+def encode_stream(records: Iterable[Record]) -> bytes:
+    """Encode one thread's record stream into a single buffer."""
+    encoder = RecordEncoder()
+    return b"".join(encoder.encode(record) for record in records)
+
+
+def decode_stream(data: bytes, tid: int) -> List[Record]:
+    """Decode a whole encoded stream back into records."""
+    decoder = RecordDecoder(tid)
+    records = []
+    offset = 0
+    while offset < len(data):
+        record, consumed = decoder.decode(data[offset:])
+        offset += consumed
+        records.append(record)
+    return records
+
+
+def measure_stream(records: Iterable[Record]) -> Tuple[int, int, float]:
+    """(records, bytes, average bytes/record) for one stream."""
+    encoder = RecordEncoder()
+    for record in records:
+        encoder.encode(record)
+    return (encoder.records, encoder.bytes,
+            encoder.average_bytes_per_record)

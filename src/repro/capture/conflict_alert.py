@@ -1,0 +1,130 @@
+"""ConflictAlert broadcast machinery (Sections 4.3 and 5.4).
+
+High-level events (``malloc``/``free``, system calls) can conflict with
+accelerator state and lifeguard metadata without ever touching the same
+cache lines — *logical races*. The wrapper library therefore requests a
+ConflictAlert broadcast around subscribed high-level events:
+
+* application side — the issuing thread's order-capture component sends
+  a CA message to every other *executing* thread's capture component;
+  each inserts a ``CA_MARK`` record (carrying the event kind, phase, and
+  optional memory ranges) into its own stream at its current position.
+  The send serializes the issuer: it stalls until all components ack
+  (modeled as a fixed latency).
+* lifeguard side — the CA id forms a barrier. Every participant's
+  lifeguard thread *arrives* when it reaches its CA_MARK record (after
+  invalidating/flushing accelerator state per the lifeguard's
+  configuration); the issuer's lifeguard waits for all arrivals, runs
+  the high-level handler (e.g. marking a freed range unallocated), and
+  *completes* the CA, releasing the participants.
+
+This matches the paper's observation that for swaptions "every pair of
+ConflictAlert messages is translated to a barrier at the lifeguard side".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.capture.events import RecordKind
+from repro.cpu.engine import Condition, Engine
+
+
+class CAState:
+    """Barrier state for one ConflictAlert id."""
+
+    __slots__ = ("ca_id", "participants", "arrived", "complete",
+                 "all_arrived_cond", "complete_cond", "marks")
+
+    def __init__(self, ca_id: int, participants: Set[int]):
+        self.ca_id = ca_id
+        self.participants = set(participants)
+        self.arrived: Set[int] = set()
+        self.complete = False
+        self.all_arrived_cond = Condition(f"ca{ca_id}.all_arrived")
+        self.complete_cond = Condition(f"ca{ca_id}.complete")
+        #: (tid, capture, mark record) per participant — the TSO fence
+        #: checks these marks' predecessors are all finalized.
+        self.marks = []
+
+    @property
+    def all_arrived(self) -> bool:
+        return self.arrived >= self.participants
+
+
+class CAHub:
+    """Process-wide ConflictAlert coordinator."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._captures = {}  # tid -> OrderCapture
+        self._active_tids: Set[int] = set()
+        self._states: Dict[int, CAState] = {}
+        self._next_id = 1
+        # Statistics
+        self.broadcasts = 0
+        self.marks_inserted = 0
+
+    # -- application side -------------------------------------------------------
+
+    def register(self, tid: int, capture) -> None:
+        self._captures[tid] = capture
+        self._active_tids.add(tid)
+
+    def thread_exited(self, tid: int) -> None:
+        """The app thread retired THREAD_EXIT: no more CA records for it."""
+        self._active_tids.discard(tid)
+
+    def broadcast(self, issuer_tid: int, hl_kind, phase_kind: RecordKind,
+                  ranges) -> int:
+        """Insert CA_MARK records into every other running thread's stream.
+
+        Returns the CA id; the issuer's own HL record carries it with
+        ``ca_issuer=True``.
+        """
+        ca_id = self._next_id
+        self._next_id += 1
+        participants = self._active_tids - {issuer_tid}
+        state = CAState(ca_id, participants)
+        self._states[ca_id] = state
+        for tid in sorted(participants):
+            capture = self._captures[tid]
+            mark = capture.insert_ca_record(
+                ca_id, hl_kind, phase_kind, ranges, issuer_tid
+            )
+            state.marks.append((tid, capture, mark))
+            self.marks_inserted += 1
+        self.broadcasts += 1
+        return ca_id
+
+    # -- lifeguard side -----------------------------------------------------------
+
+    def state(self, ca_id: int) -> CAState:
+        return self._states[ca_id]
+
+    def lifeguard_arrive(self, ca_id: int, tid: int) -> None:
+        state = self._states[ca_id]
+        state.arrived.add(tid)
+        if state.all_arrived:
+            state.all_arrived_cond.notify_all(self.engine)
+
+    def lifeguard_exited(self, tid: int) -> None:
+        """A finished lifeguard thread counts as arrived everywhere.
+
+        By construction it has already processed every CA_MARK in its
+        stream; this only unblocks issuers whose broadcast raced with the
+        thread's exit.
+        """
+        for state in self._states.values():
+            if tid in state.participants and tid not in state.arrived:
+                state.arrived.add(tid)
+                if state.all_arrived:
+                    state.all_arrived_cond.notify_all(self.engine)
+
+    def mark_complete(self, ca_id: int) -> None:
+        state = self._states[ca_id]
+        state.complete = True
+        state.complete_cond.notify_all(self.engine)
+
+    def pending_barriers(self) -> int:
+        return sum(1 for s in self._states.values() if not s.complete)

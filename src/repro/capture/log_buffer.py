@@ -1,0 +1,101 @@
+"""The per-thread circular event-log buffer.
+
+Models LBA's log buffer in the shared L2: a fixed byte budget (64 KB by
+default, ~1 byte per compressed record). The producing application core
+stalls when a record does not fit; the consuming lifeguard core stalls
+when the log is empty. Both directions are exposed as engine conditions
+(``not_full`` / ``not_empty``) so stalled cores sleep instead of
+polling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.capture.events import Record, record_size_bytes
+from repro.common.config import LogBufferConfig
+from repro.cpu.engine import Condition, Engine
+
+
+class LogBuffer:
+    """Bounded FIFO of event records with byte-occupancy accounting."""
+
+    def __init__(self, engine: Engine, config: LogBufferConfig, name: str):
+        self.engine = engine
+        self.capacity_bytes = config.size_bytes
+        self.name = name
+        self._queue = deque()
+        self._occupied_bytes = 0
+        self._encoder = None
+        if config.use_codec:
+            from repro.capture.compression import RecordEncoder
+            self._encoder = RecordEncoder()
+        self.not_full = Condition(f"{name}.not_full")
+        self.not_empty = Condition(f"{name}.not_empty")
+        #: Set by the producing side when the thread exits, so a consumer
+        #: finding the log empty can distinguish "stall" from "finished".
+        self.closed = False
+        # Lifetime statistics.
+        self.total_records = 0
+        self.total_bytes = 0
+        self.peak_bytes = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def try_append(self, record: Record) -> bool:
+        """Append if it fits; returns False (and changes nothing) if full."""
+        if self._encoder is not None:
+            # Encode tentatively: a failed append must not advance the
+            # encoder's delta context or its statistics.
+            saved = (self._encoder._last_addr, self._encoder.records,
+                     self._encoder.bytes)
+            size = len(self._encoder.encode(record))
+            if self._occupied_bytes + size > self.capacity_bytes:
+                (self._encoder._last_addr, self._encoder.records,
+                 self._encoder.bytes) = saved
+                return False
+        else:
+            size = record_size_bytes(record)
+        if self._occupied_bytes + size > self.capacity_bytes:
+            return False
+        self._queue.append((record, size))
+        self._occupied_bytes += size
+        self.total_records += 1
+        self.total_bytes += size
+        if self._occupied_bytes > self.peak_bytes:
+            self.peak_bytes = self._occupied_bytes
+        self.not_empty.notify_all(self.engine)
+        return True
+
+    def close(self) -> None:
+        """Producer signals no more records will ever arrive."""
+        self.closed = True
+        self.not_empty.notify_all(self.engine)
+
+    # -- consumer side -------------------------------------------------------
+
+    def peek(self) -> Optional[Record]:
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def pop(self) -> Record:
+        record, size = self._queue.popleft()
+        self._occupied_bytes -= size
+        self.not_full.notify_all(self.engine)
+        return record
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def occupied_bytes(self) -> int:
+        return self._occupied_bytes
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def drained(self) -> bool:
+        """True once the producer closed the log and everything was consumed."""
+        return self.closed and not self._queue

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` — print the simulated-machine configuration.
+* ``run`` — run one workload under one scheme/lifeguard and print the
+  result summary, time breakdown and any violations.
+* ``figure6`` / ``figure7`` / ``figure8`` — regenerate a paper figure.
+* ``headline`` — the abstract's three claims.
+* ``swaptions`` — the Section 7 swaptions analysis.
+* ``list`` — available workloads and lifeguards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import CaptureMode, MemoryModel, ScalePreset, \
+    SimulationConfig
+from repro.eval import (
+    figure6,
+    figure7,
+    figure8,
+    format_table,
+    headline_summary,
+    swaptions_analysis,
+    table1_setup,
+)
+from repro.eval.reporting import (
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_mapping,
+)
+from repro.lifeguards import LIFEGUARDS
+from repro.platform import (
+    AcceleratorConfig,
+    run_no_monitoring,
+    run_parallel_monitoring,
+    run_timesliced_monitoring,
+)
+from repro.workloads import PAPER_BENCHMARKS, WORKLOADS, build_workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=2,
+                        help="application threads (default 2)")
+    parser.add_argument("--scale", choices=[s.value for s in ScalePreset],
+                        default="tiny", help="workload scale preset")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_sweep(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--lifeguard", choices=sorted(LIFEGUARDS),
+                        default="taintcheck")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmark subset (default: the Table 1 suite)")
+    parser.add_argument("--max-threads", type=int, default=4)
+    parser.add_argument("--scale", choices=[s.value for s in ScalePreset],
+                        default="tiny")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParaLog (ASPLOS 2010) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 configuration") \
+        .add_argument("--threads", type=int, default=8)
+
+    run_parser = sub.add_parser("run", help="run one monitored workload")
+    run_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_common(run_parser)
+    run_parser.add_argument("--lifeguard", choices=sorted(LIFEGUARDS),
+                            default="taintcheck")
+    run_parser.add_argument("--scheme",
+                            choices=["parallel", "timesliced", "none"],
+                            default="parallel")
+    run_parser.add_argument("--memory-model",
+                            choices=[m.value for m in MemoryModel],
+                            default="sc")
+    run_parser.add_argument("--capture",
+                            choices=[c.value for c in CaptureMode],
+                            default="per_block")
+    run_parser.add_argument("--no-accel", action="store_true",
+                            help="disable IT/IF/M-TLB")
+
+    for name in ("figure6", "figure7"):
+        _add_sweep(sub.add_parser(name, help=f"regenerate {name}"))
+        sub.choices[name].add_argument(
+            "--thread-counts", type=int, nargs="*", default=None)
+
+    fig8 = sub.add_parser("figure8", help="regenerate figure 8")
+    _add_sweep(fig8)
+
+    headline = sub.add_parser("headline", help="the abstract's claims")
+    _add_sweep(headline)
+
+    swaptions = sub.add_parser("swaptions",
+                               help="the Section 7 swaptions analysis")
+    swaptions.add_argument("--threads", type=int, default=4)
+    swaptions.add_argument("--scale",
+                           choices=[s.value for s in ScalePreset],
+                           default="tiny")
+    swaptions.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="available workloads and lifeguards")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    config = SimulationConfig.for_threads(
+        args.threads,
+        memory_model=MemoryModel(args.memory_model),
+        capture_mode=CaptureMode(args.capture),
+    )
+    scale = ScalePreset(args.scale)
+    workload = build_workload(args.workload, args.threads, scale, args.seed)
+    lifeguard = LIFEGUARDS[args.lifeguard]
+    if args.scheme == "none":
+        result = run_no_monitoring(workload, config)
+    elif args.scheme == "timesliced":
+        result = run_timesliced_monitoring(workload, lifeguard, config)
+    else:
+        accel = (AcceleratorConfig.all_off() if args.no_accel
+                 else AcceleratorConfig.all_on())
+        result = run_parallel_monitoring(workload, lifeguard, config,
+                                         accel=accel)
+    print(result.summary())
+    breakdown = result.lifeguard_breakdown()
+    if breakdown:
+        rows = [(bucket, f"{100 * share:.1f}%")
+                for bucket, share in sorted(breakdown.items())]
+        print(format_table(["lifeguard time", "share"], rows))
+    if result.violations:
+        print("\nviolations:")
+        for violation in result.violations:
+            print(f"  [{violation.kind}] t{violation.tid}#{violation.rid} "
+                  f"{violation.detail}")
+    interesting = ("arcs_recorded", "arcs_reduced", "ca_broadcasts",
+                   "events_delivered", "events_filtered", "it_absorbed",
+                   "dependence_stalls", "ca_stalls")
+    rows = [(key, result.stats[key]) for key in interesting
+            if key in result.stats]
+    if rows:
+        print()
+        print(format_table(["stat", "value"], rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(render_mapping("Table 1: simulated machine",
+                             dict(table1_setup(args.threads))))
+        return 0
+
+    if args.command == "list":
+        print(format_table(
+            ["workload", "paper suite"],
+            [(name, "yes" if name in PAPER_BENCHMARKS else "")
+             for name in sorted(WORKLOADS)]))
+        print()
+        print(format_table(["lifeguard", "class"],
+                           [(name, cls.__name__)
+                            for name, cls in sorted(LIFEGUARDS.items())]))
+        return 0
+
+    if args.command == "run":
+        return _cmd_run(args)
+
+    if args.command == "swaptions":
+        print(render_mapping(
+            "Section 7 swaptions analysis",
+            swaptions_analysis(args.threads, ScalePreset(args.scale),
+                               args.seed)))
+        return 0
+
+    scale = ScalePreset(args.scale)
+    benches = tuple(args.benchmarks or PAPER_BENCHMARKS)
+
+    if args.command == "figure6":
+        counts = tuple(args.thread_counts
+                       or [t for t in (1, 2, 4, 8) if t <= args.max_threads])
+        print(render_figure6(figure6(args.lifeguard, benches, counts, scale,
+                                     args.seed)))
+        return 0
+    if args.command == "figure7":
+        counts = tuple(args.thread_counts
+                       or [t for t in (1, 2, 4, 8) if t <= args.max_threads])
+        print(render_figure7(figure7(args.lifeguard, benches, counts, scale,
+                                     args.seed)))
+        return 0
+    if args.command == "figure8":
+        print(render_figure8(figure8(args.lifeguard, benches,
+                                     args.max_threads, scale, args.seed)))
+        return 0
+    if args.command == "headline":
+        summary = headline_summary(benches, args.max_threads, scale,
+                                   args.seed)
+        rows = []
+        for key, value in summary.items():
+            if isinstance(value, dict):
+                rows.extend((f"{key}.{inner}", inner_value)
+                            for inner, inner_value in value.items())
+            else:
+                rows.append((key, value))
+        print(format_table(["metric", "value"], rows))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

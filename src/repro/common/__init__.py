@@ -1,0 +1,42 @@
+"""Shared plumbing for the ParaLog reproduction.
+
+This package holds the pieces every subsystem depends on: the simulation
+configuration (mirroring Table 1 of the paper), typed identifiers,
+error types, and statistics counters.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    CaptureMode,
+    LifeguardCostConfig,
+    LogBufferConfig,
+    MemoryModel,
+    ScalePreset,
+    SimulationConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.common.stats import Counter, StatsRegistry, TimeBuckets
+
+__all__ = [
+    "CacheConfig",
+    "CaptureMode",
+    "ConfigurationError",
+    "Counter",
+    "DeadlockError",
+    "LifeguardCostConfig",
+    "LogBufferConfig",
+    "MemoryModel",
+    "ReproError",
+    "ScalePreset",
+    "SimulationConfig",
+    "SimulationError",
+    "StatsRegistry",
+    "TimeBuckets",
+    "WorkloadError",
+]

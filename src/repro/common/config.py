@@ -1,0 +1,258 @@
+"""Simulation configuration.
+
+The defaults mirror Table 1 of the ParaLog paper:
+
+* 2/4/8/16 in-order scalar cores at 1 GHz,
+* private 64KB 4-way L1 caches with 64B lines (1-cycle I, 2-cycle D),
+* a shared inclusive L2 (2/4/8 MB, 8-way, 6-cycle, 4 banks),
+* 90-cycle main memory,
+* a 64KB log buffer at ~1 byte per compressed record.
+
+The lifeguard *cost model* constants encode the handler structure the
+paper describes (Section 2 and Section 6): frequent handler fast paths of
+under ten instructions, roughly half of which are metadata address
+computation that the M-TLB eliminates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+
+class MemoryModel(enum.Enum):
+    """Processor consistency model simulated by the CMP."""
+
+    SC = "sc"
+    TSO = "tso"
+
+
+class CaptureMode(enum.Enum):
+    """Dependence-capture precision (Section 5.1 / Figure 8).
+
+    ``PER_BLOCK`` is the FDR-style aggressive design: each L1 line is
+    tagged with the (thread, record-id) of its last access, so arcs point
+    at the *actual* conflicting instruction. ``PER_CORE`` is the reduced-
+    hardware design: the current per-core instruction counter is sent
+    instead, producing conservative (later) arc sources.
+    """
+
+    PER_BLOCK = "per_block"
+    PER_CORE = "per_core"
+
+
+class ScalePreset(enum.Enum):
+    """Workload sizing presets.
+
+    ``TINY`` keeps unit tests fast, ``SMALL`` is the benchmark-harness
+    default, and ``PAPER`` approaches the paper's inputs (slow in a pure
+    Python simulator; intended for overnight runs).
+    """
+
+    TINY = "tiny"
+    SMALL = "small"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+    access_latency: int = 2
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigurationError("cache sizes must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ConfigurationError(
+                "cache size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class LogBufferConfig:
+    """The per-thread event log buffer (LBA-style, in the L2).
+
+    The paper assumes compression brings the average record below one
+    byte; by default we model occupancy with the fixed per-record sizes
+    of :mod:`repro.capture.events`. With ``use_codec=True`` every record
+    is actually encoded by :mod:`repro.capture.compression` and its real
+    byte length charged — slower to simulate, but the occupancy is then
+    measured rather than modeled. The application core stalls when its
+    buffer is full and the lifeguard core stalls when it is empty.
+    """
+
+    size_bytes: int = 64 * 1024
+    bytes_per_record: float = 1.0
+    use_codec: bool = False
+
+    @property
+    def capacity_records(self) -> int:
+        return int(self.size_bytes / self.bytes_per_record)
+
+
+@dataclass(frozen=True)
+class LifeguardCostConfig:
+    """Instruction budgets charged for lifeguard event handlers.
+
+    These are the reproduction's stand-in for executing real x86 handler
+    code on the lifeguard core. Costs are expressed in lifeguard-core
+    instructions (1 cycle each on the in-order scalar core) *plus* the
+    simulated latency of the metadata loads/stores the handler performs,
+    which go through the lifeguard core's own L1.
+
+    ``metadata_addr_cost`` is the address-computation overhead that a
+    Metadata-TLB hit removes (the paper: "may cost more than half of the
+    total instructions in a simple handler").
+    """
+
+    #: Base cost of dispatching any delivered event to its handler.
+    dispatch_cost: int = 1
+    #: Fast-path handler body (excluding metadata address computation).
+    handler_body_cost: int = 2
+    #: Metadata address computation without an M-TLB hit.
+    metadata_addr_cost: int = 6
+    #: Metadata address computation on an M-TLB hit.
+    mtlb_hit_cost: int = 1
+    #: Cost of a high-level event handler (malloc/free/syscall ranges).
+    highlevel_cost_per_line: int = 2
+    #: Fixed part of a high-level event handler.
+    highlevel_base_cost: int = 15
+    #: Cost of reading one dependence-arc / annotation record.
+    arc_record_cost: int = 1
+    #: Spin-poll interval (cycles) while waiting on a remote progress
+    #: counter, mirroring the paper's "re-reading progress periodically".
+    progress_poll_cycles: int = 20
+    #: Cost of flushing one IT row (the deferred event is delivered).
+    it_flush_row_cost: int = 2
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete description of one simulated machine + monitoring setup."""
+
+    #: Number of application threads (each pinned to its own core under
+    #: parallel monitoring).
+    app_threads: int = 2
+    #: Memory consistency model.
+    memory_model: MemoryModel = MemoryModel.SC
+    #: Dependence-capture precision.
+    capture_mode: CaptureMode = CaptureMode.PER_BLOCK
+    #: Apply RTR-style transitive reduction to captured arcs.
+    transitive_reduction: bool = True
+
+    l1_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024, line_bytes=64, associativity=4, access_latency=2
+        )
+    )
+    l2_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=8, access_latency=6
+        )
+    )
+    #: Main-memory access latency in cycles.
+    memory_latency: int = 90
+    log_config: LogBufferConfig = field(default_factory=LogBufferConfig)
+    lifeguard_costs: LifeguardCostConfig = field(default_factory=LifeguardCostConfig)
+
+    #: TSO store buffer depth (ignored under SC).
+    store_buffer_entries: int = 8
+    #: Cycles between a store-buffer drain *starting* and the write
+    #: becoming globally visible (the coherence request's travel time).
+    #: This window is what lets remote loads execute before a buffered
+    #: store commits — the SC-violation window of Section 5.5.
+    tso_drain_delay: int = 10
+
+    #: Inheritance-Tracking table rows (one per architectural register).
+    it_rows: int = 16
+    #: Idempotent-Filter cache entries.
+    if_entries: int = 32
+    #: Metadata-TLB entries.
+    mtlb_entries: int = 64
+    #: Delayed-advertising lag threshold (Section 4.2's optional
+    #: threshold): if the advertised progress falls behind the processed
+    #: RID by more than this many records, forcefully flush IT/IF to
+    #: refresh it (0 = off). Long-lived rows (a loop-invariant register
+    #: inheriting from memory) would otherwise hold a thread's advertised
+    #: progress back indefinitely and stall every remote consumer.
+    #: 16 is the sweet spot on the Table 1 suite: large enough that IT
+    #: rarely flushes early, small enough that lock-contended benchmarks
+    #: (radiosity's task queue) don't serialize on stale progress.
+    delayed_advertising_threshold: int = 16
+
+    #: ConflictAlert broadcast acknowledgement latency per remote core.
+    ca_ack_latency: int = 10
+    #: Alternative to CA barriers for small allocations: the allocator
+    #: wrapper touches the allocated blocks to induce plain dependence
+    #: arcs (Section 7's closing suggestion). 0 disables; otherwise the
+    #: threshold in cache lines under which touching replaces the CA.
+    ca_touch_threshold_lines: int = 0
+
+    #: Round-robin quantum (instructions) for the time-sliced baseline.
+    timeslice_quantum: int = 2000
+    #: Context-switch penalty (cycles) for the time-sliced baseline; the
+    #: OS also saves/restores the (thread id, counter) tuple here.
+    context_switch_cycles: int = 200
+
+    #: Seed for all workload-level randomness.
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.app_threads < 1:
+            raise ConfigurationError("app_threads must be >= 1")
+        if self.l1_config.line_bytes != self.l2_config.line_bytes:
+            raise ConfigurationError("L1 and L2 must share a line size")
+        if self.store_buffer_entries < 1:
+            raise ConfigurationError("store_buffer_entries must be >= 1")
+        if self.delayed_advertising_threshold < 0:
+            raise ConfigurationError("delayed_advertising_threshold must be >= 0")
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1_config.line_bytes
+
+    def replace(self, **changes) -> "SimulationConfig":
+        """Return a copy with ``changes`` applied (frozen-dataclass helper)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def for_threads(cls, app_threads: int, **overrides) -> "SimulationConfig":
+        """Build a Table-1 configuration for ``app_threads`` app threads.
+
+        The paper scales the shared L2 with the core count (2 MB at 4
+        cores up to 8 MB at 16 cores) while keeping L1 parameters fixed.
+        """
+        total_cores = 2 * app_threads
+        if total_cores <= 4:
+            l2_mb = 2
+        elif total_cores <= 8:
+            l2_mb = 4
+        else:
+            l2_mb = 8
+        l2 = CacheConfig(
+            size_bytes=l2_mb * 1024 * 1024,
+            line_bytes=64,
+            associativity=8,
+            access_latency=6,
+        )
+        return cls(app_threads=app_threads, l2_config=l2, **overrides)
+
+
+#: Scale-preset multipliers used by workload kernels. Kernels define
+#: their own base sizes and multiply by these factors.
+SCALE_FACTORS = {
+    ScalePreset.TINY: 1,
+    ScalePreset.SMALL: 4,
+    ScalePreset.PAPER: 64,
+}

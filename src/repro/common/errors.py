@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ParaLog reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime simulation
+failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent :class:`~repro.common.config.SimulationConfig`."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached an illegal state.
+
+    This always indicates a bug in the simulator or a workload that
+    violates the machine contract (e.g. a store to an unmapped address),
+    never a property of the monitored program.
+    """
+
+
+class DeadlockError(SimulationError):
+    """No core can make progress and no event is pending.
+
+    The ParaLog design argues deadlock freedom (delayed advertising
+    flushes on stalls; TSO cycles are broken with versioned metadata),
+    so surfacing a deadlock loudly is the correct behaviour for a
+    reproduction: it means an ordering mechanism is wrong.
+    """
+
+    def __init__(self, message: str, waiting: dict = None):
+        super().__init__(message)
+        #: Mapping of core name -> human-readable wait reason, for debugging.
+        self.waiting = dict(waiting or {})
+
+
+class WorkloadError(ReproError):
+    """A workload kernel misused the program-building DSL."""
+
+
+class LifeguardViolation(ReproError):
+    """Raised only in ``strict`` mode when a lifeguard detects an error.
+
+    By default lifeguards *record* violations in their report (matching
+    the paper's lifeguards, which warn and continue); strict mode turns
+    the first violation into an exception, which is convenient in tests.
+    """
+
+    def __init__(self, message: str, record=None):
+        super().__init__(message)
+        #: The event record that triggered the violation, if available.
+        self.record = record

@@ -1,0 +1,106 @@
+"""Statistics plumbing.
+
+Simulator components register named counters and time buckets here; the
+platform layer snapshots the registry into a plain dictionary for run
+results. Keeping statistics out of the hot structures' public APIs keeps
+the component interfaces about *behaviour*, with observability bolted on
+uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeBuckets:
+    """Cycle accounting split across named buckets.
+
+    Used for the Figure 7 breakdown: lifeguard time is charged to
+    ``useful``, ``wait_dependence`` or ``wait_application``; application
+    time to ``execute``, ``wait_log`` or ``wait_containment``.
+    """
+
+    __slots__ = ("buckets",)
+
+    def __init__(self):
+        self.buckets: Dict[str, int] = defaultdict(int)
+
+    def charge(self, bucket: str, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles to {bucket!r}")
+        self.buckets[bucket] += cycles
+
+    def get(self, bucket: str, default: int = 0) -> int:
+        return self.buckets.get(bucket, default)
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.buckets)
+
+    def fractions(self) -> Dict[str, float]:
+        """Each bucket as a fraction of the total (empty -> {})."""
+        total = self.total
+        if not total:
+            return {}
+        return {name: cycles / total for name, cycles in self.buckets.items()}
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.buckets.items()))
+        return f"TimeBuckets({inner})"
+
+
+class StatsRegistry:
+    """A flat namespace of counters and time buckets for one simulation."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._buckets: Dict[str, TimeBuckets] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def buckets(self, name: str) -> TimeBuckets:
+        """Return the time-bucket set called ``name``, creating it on first use."""
+        buckets = self._buckets.get(name)
+        if buckets is None:
+            buckets = TimeBuckets()
+            self._buckets[name] = buckets
+        return buckets
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flatten everything into a plain, JSON-friendly dict."""
+        out: Dict[str, object] = {}
+        for name, value in self.counters():
+            out[name] = value
+        for name in sorted(self._buckets):
+            out[name] = self._buckets[name].as_dict()
+        return out

@@ -1,0 +1,164 @@
+"""Discrete-event simulation engine.
+
+The engine owns simulated time. Actors (cores) implement a ``step()``
+state machine returning one of::
+
+    ("delay", cycles, bucket)          # busy for `cycles`, charged to `bucket`
+    ("wait", condition, bucket, why)   # block until condition.notify_all()
+    ("done",)                          # actor finished
+
+Waiting time is charged to the named bucket when the actor wakes, which
+is how the Figure 7 breakdown (useful work / waiting-for-dependence /
+waiting-for-application) is measured. Wake-ups are edge-triggered and
+may be spurious — a woken actor re-evaluates its state in ``step()`` and
+may wait again — so conditions only need to notify on *potential* state
+changes.
+
+Determinism: the heap breaks ties by insertion sequence number, so two
+runs of the same configuration produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.stats import TimeBuckets
+
+
+class Engine:
+    """Time heap + actor lifecycle tracking."""
+
+    def __init__(self):
+        self.now = 0
+        self._heap: List = []
+        self._seq = 0
+        self._actors: List["CoreActor"] = []
+
+    def register(self, actor: "CoreActor") -> None:
+        self._actors.append(actor)
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Run until all actors finish; returns the final time.
+
+        Raises :class:`DeadlockError` if the event heap drains while
+        actors are still blocked — in this codebase that always means an
+        ordering mechanism (arcs, CA barriers, versioning) is broken.
+        """
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            if max_cycles is not None and time > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles}"
+                )
+            self.now = time
+            callback()
+        blocked = [a for a in self._actors if not a.finished]
+        if blocked:
+            raise DeadlockError(
+                "simulation deadlocked with blocked actors",
+                waiting={a.name: a.wait_reason or "unknown" for a in blocked},
+            )
+        return self.now
+
+
+class Condition:
+    """A waitable, edge-triggered condition with named waiters."""
+
+    __slots__ = ("name", "_waiters")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._waiters: List["CoreActor"] = []
+
+    def add_waiter(self, actor: "CoreActor") -> None:
+        self._waiters.append(actor)
+
+    def notify_all(self, engine: Engine) -> None:
+        """Wake every waiter (they re-check their state and may re-wait)."""
+        if not self._waiters:
+            return
+        waiters, self._waiters = self._waiters, []
+        for actor in waiters:
+            engine.schedule(0, actor.wake)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self):
+        return f"Condition({self.name}, waiters={len(self._waiters)})"
+
+
+class CoreActor:
+    """Base class for engine actors with time-bucket accounting."""
+
+    def __init__(self, engine: Engine, name: str, buckets: TimeBuckets = None):
+        self.engine = engine
+        self.name = name
+        self.buckets = buckets if buckets is not None else TimeBuckets()
+        self.finished = False
+        self.finish_time: Optional[int] = None
+        self.wait_reason: Optional[str] = None
+        self._wait_started: Optional[int] = None
+        self._wait_bucket: Optional[str] = None
+        engine.register(self)
+
+    # -- subclass contract ---------------------------------------------------
+
+    def step(self):
+        """Advance one state-machine step; see module docstring for returns."""
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, delay: int = 0) -> None:
+        self.engine.schedule(delay, self._run)
+
+    def wake(self) -> None:
+        """Called (via the engine) when a waited-on condition fires."""
+        if self.finished:
+            return
+        if self._wait_started is not None:
+            waited = self.engine.now - self._wait_started
+            self.buckets.charge(self._wait_bucket, waited)
+            self._wait_started = None
+            self._wait_bucket = None
+            self.wait_reason = None
+        self._run()
+
+    def _run(self) -> None:
+        while True:
+            action = self.step()
+            kind = action[0]
+            if kind == "delay":
+                _, cycles, bucket = action
+                if cycles:
+                    self.buckets.charge(bucket, cycles)
+                    self.engine.schedule(cycles, self._run)
+                    return
+                # Zero-cost transition: keep stepping inline.
+            elif kind == "wait":
+                _, condition, bucket, reason = action
+                self._wait_started = self.engine.now
+                self._wait_bucket = bucket
+                self.wait_reason = f"{reason} ({condition.name})"
+                condition.add_waiter(self)
+                return
+            elif kind == "done":
+                self.finished = True
+                self.finish_time = self.engine.now
+                self.on_finish()
+                return
+            else:
+                raise SimulationError(f"{self.name}: unknown step action {kind!r}")
+
+    def on_finish(self) -> None:
+        """Hook for subclasses (e.g. to notify waiters that depend on us)."""

@@ -1,0 +1,370 @@
+"""The lifeguard (consumer) core.
+
+One :class:`LifeguardCore` consumes one event log. In parallel
+monitoring it shadows a single application thread; in the time-sliced
+baseline one instance sequentially consumes the interleaved multi-thread
+log (in which case arcs never appear, CA barriers are disabled, and
+progress is published accurately for containment only).
+
+Responsibilities, in record order (Sections 4 and 5):
+
+1. **Order enforcement** — an unmet arc ``(t, i)`` stalls the consumer
+   until ``progress[t] >= i``. Entering *any* stall first flushes the
+   accelerators and publishes accurate progress (the delayed-advertising
+   deadlock-freedom rule).
+2. **ConflictAlert barriers** — a CA_MARK record invalidates/flushes
+   accelerator state per the lifeguard's configuration, *arrives* at the
+   barrier and waits for the issuer to complete; the issuing thread's HL
+   record waits for all arrivals before its handler runs.
+3. **TSO versioning** — ``produce_versions`` snapshots metadata before
+   the store handler; ``consume_version`` blocks until the version
+   exists and delivers the load against it.
+4. **Acceleration** — records flow through Inheritance Tracking (or its
+   passthrough), delivered check events through the Idempotent Filter,
+   and every metadata access through the M-TLB cost model plus a real
+   simulated cache access.
+5. **Delayed advertising** — published progress is
+   ``min(RIDs held by IT/IF) - 1``, clamped by the processed RID, with a
+   configurable lag threshold that forces a refresh flush.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.accel import IdempotentFilter, InheritanceTracking, MetadataTLB
+from repro.capture.events import Record, RecordKind
+from repro.capture.log_buffer import LogBuffer
+from repro.common.config import SimulationConfig
+from repro.common.errors import SimulationError
+from repro.cpu.engine import CoreActor, Engine
+from repro.lifeguards.base import Lifeguard, hl_phase_of
+
+_FETCH, _ORDER, _PROCESS, _FINAL = range(4)
+
+
+class LifeguardCore(CoreActor):
+    """Consumes one event stream and runs one lifeguard thread."""
+
+    def __init__(self, engine: Engine, name: str, core_id: int, tid: Optional[int],
+                 log: LogBuffer, lifeguard: Lifeguard, memsys,
+                 config: SimulationConfig, progress_table=None, ca_hub=None,
+                 version_store=None, use_it: bool = True, use_if: bool = True,
+                 use_mtlb: bool = True, enforce_arcs: Optional[bool] = None,
+                 delayed_advertising: bool = True):
+        super().__init__(engine, name)
+        self.core_id = core_id
+        self.tid = tid  # None for the sequential (time-sliced) consumer
+        self.log = log
+        self.lifeguard = lifeguard
+        self.memsys = memsys
+        self.config = config
+        self.costs = config.lifeguard_costs
+        self.progress_table = progress_table
+        self.ca_hub = ca_hub
+        self.version_store = version_store
+        self.delayed_advertising = delayed_advertising
+
+        self.it = InheritanceTracking(enabled=use_it and lifeguard.uses_it)
+        self.iff = IdempotentFilter(
+            entries=config.if_entries,
+            enabled=use_if and lifeguard.uses_if,
+            track_rids=lifeguard.if_track_rids,
+        )
+        self.mtlb = MetadataTLB(
+            entries=config.mtlb_entries, costs=self.costs,
+            enabled=use_mtlb and lifeguard.uses_mtlb,
+        )
+        if enforce_arcs is None:
+            enforce_arcs = lifeguard.needs_instruction_arcs
+        self.enforce_arcs = enforce_arcs
+
+        self._phase = _FETCH
+        self._rec: Optional[Record] = None
+        self._processed: Dict[int, int] = {}
+        self._stall_flushed = False
+        self._ca_arrived = False
+        # Statistics
+        self.records_processed = 0
+        self.events_delivered = 0
+        self.events_filtered = 0
+        self.dependence_stalls = 0
+        self.ca_stalls = 0
+        #: Durations (cycles) of individual dependence/CA stalls — the
+        #: paper reports the *median* of these for swaptions (Section 7).
+        self.stall_durations = []
+        self._stall_started = None
+
+    # -- the state machine -----------------------------------------------------------
+
+    def step(self):
+        if self._phase == _FETCH:
+            record = self.log.peek()
+            if record is None:
+                if self.log.closed:
+                    self._phase = _FINAL
+                    return ("delay", 0, "useful")
+                cost = self._stall_flush()
+                if cost:
+                    return ("delay", cost, "useful")
+                return ("wait", self.log.not_empty,
+                        "wait_application", "log empty")
+            self._rec = record
+            self._phase = _ORDER
+            return ("delay", 0, "useful")
+
+        if self._phase == _ORDER:
+            blocked = self._order_gate(self._rec)
+            if blocked is not None:
+                if blocked[0] == "wait" and self._stall_started is None:
+                    self._stall_started = self.engine.now
+                return blocked
+            if self._stall_started is not None:
+                self.stall_durations.append(
+                    self.engine.now - self._stall_started)
+                self._stall_started = None
+            self._phase = _PROCESS
+            return ("delay", 0, "useful")
+
+        if self._phase == _PROCESS:
+            record = self.log.pop()
+            if record is not self._rec:
+                raise SimulationError(f"{self.name}: log head changed underfoot")
+            cycles = self._process_record(record)
+            if record.ca_issuer and self.ca_hub is not None:
+                self.ca_hub.mark_complete(record.ca_id)
+            self._ca_arrived = False
+            self._stall_flushed = False
+            self._processed[record.tid] = record.rid
+            self.records_processed += 1
+            cycles += self._publish(record.tid)
+            self._phase = _FETCH
+            return ("delay", max(cycles, 1), "useful")
+
+        if self._phase == _FINAL:
+            cost = self._drain_accelerators()
+            self._publish_accurate()
+            if self.ca_hub is not None and self.tid is not None:
+                self.ca_hub.lifeguard_exited(self.tid)
+            if cost:
+                self._phase = _FINAL + 1  # fall through to done next step
+                return ("delay", cost, "useful")
+            return ("done",)
+
+        return ("done",)
+
+    # -- ordering gates ----------------------------------------------------------------
+
+    def _order_gate(self, record: Record):
+        """Return a wait/delay action if the record may not be processed yet."""
+        # 1. Instruction-level dependence arcs.
+        if (record.arcs and self.enforce_arcs
+                and self.progress_table is not None):
+            unmet = self.progress_table.first_unmet(record.arcs)
+            if unmet is not None:
+                cost = self._stall_flush()
+                if cost:
+                    return ("delay", cost, "useful")
+                self.dependence_stalls += 1
+                return ("wait", self.progress_table.condition(unmet[0]),
+                        "wait_dependence", f"arc (t{unmet[0]},#{unmet[1]})")
+
+        # 2. TSO consume-version.
+        if record.consume_version is not None and self.version_store is not None:
+            version_id = record.consume_version[0]
+            if not self.version_store.available(version_id):
+                cost = self._stall_flush()
+                if cost:
+                    return ("delay", cost, "useful")
+                self.dependence_stalls += 1
+                return ("wait", self.version_store.condition(version_id),
+                        "wait_dependence", f"version {version_id}")
+
+        # 3. ConflictAlert barrier: participant side.
+        if record.kind == RecordKind.CA_MARK and self.ca_hub is not None:
+            state = self.ca_hub.state(record.ca_id)
+            if not self._ca_arrived:
+                cost = self._accel_conflict_flush(record)
+                self.ca_hub.lifeguard_arrive(record.ca_id,
+                                             self.tid if self.tid is not None
+                                             else record.tid)
+                self._ca_arrived = True
+                if cost:
+                    return ("delay", cost, "useful")
+            if not state.complete:
+                cost = self._stall_flush()
+                if cost:
+                    return ("delay", cost, "useful")
+                self.ca_stalls += 1
+                return ("wait", state.complete_cond,
+                        "wait_dependence", f"CA#{record.ca_id} completion")
+
+        # 4. ConflictAlert barrier: issuer side.
+        if (record.ca_id is not None and record.ca_issuer
+                and self.ca_hub is not None):
+            state = self.ca_hub.state(record.ca_id)
+            if not state.all_arrived:
+                cost = self._stall_flush()
+                if cost:
+                    return ("delay", cost, "useful")
+                self.ca_stalls += 1
+                return ("wait", state.all_arrived_cond,
+                        "wait_dependence", f"CA#{record.ca_id} arrivals")
+        return None
+
+    # -- record processing ------------------------------------------------------------------
+
+    def _process_record(self, record: Record) -> int:
+        cost = self.costs.arc_record_cost * (1 + len(record.arcs or ()))
+        latency = 0
+
+        if record.produce_versions and self.version_store is not None:
+            for version_id, addr, length in record.produce_versions:
+                snapshot = self.lifeguard.snapshot_metadata(addr, length)
+                self.version_store.produce(version_id, addr, length, snapshot)
+                cost += 4 + length // 16
+
+        if record.kind == RecordKind.CA_MARK:
+            return cost + 1
+
+        if record.kind == RecordKind.NOP:
+            return cost
+
+        if (record.critical_kind == "allocator" and record.is_memory
+                and not self.lifeguard.monitors_allocator_internals):
+            # Wrapper-library bookkeeping accesses are unmonitored for
+            # heap checkers (Valgrind-style replacement malloc): they
+            # bypass the accelerators and the handlers entirely.
+            return cost
+
+        if record.kind in (RecordKind.HL_BEGIN, RecordKind.HL_END):
+            # High-level events conflict with accelerator state *locally*
+            # too (Section 4.1's MEMCHECK example): apply the lifeguard's
+            # configured flushes before the event's handler runs.
+            cost += self._accel_conflict_flush(record)
+
+        for event in self.it.process(record):
+            if not self.lifeguard.wants(event):
+                continue  # no handler registered: hardware drops the event
+            if event[0] == "load_versioned" and len(event) == 2:
+                version = self.version_store.consume(record.consume_version[0])
+                event = ("load_versioned", event[1],
+                         (version[0], version[1], version[2]))
+            key = self.lifeguard.if_key(event)
+            if key is not None and self.iff.check(key, record.rid):
+                self.events_filtered += 1
+                continue
+            if (self.lifeguard.if_invalidate_on_write and record.is_write
+                    and record.addr is not None):
+                self.iff.invalidate_overlapping(record.addr, record.size)
+            handler_cost, accesses = self.lifeguard.handle(event)
+            cost += self.costs.dispatch_cost + handler_cost
+            self.events_delivered += 1
+            latency += self._metadata_access_cycles(accesses)
+        return cost + latency
+
+    def _metadata_access_cycles(self, accesses) -> int:
+        """Charge M-TLB lookups plus the metadata cache latency.
+
+        One cycle of each access overlaps with the handler's own
+        instruction (already costed); only the excess latency stalls the
+        in-order lifeguard core.
+        """
+        cycles = 0
+        for app_addr, size, is_write in accesses:
+            cycles += self.mtlb.lookup_cost(app_addr)
+            for sim_addr, sim_size, sim_write in (
+                    self.lifeguard.metadata.sim_accesses(app_addr, size,
+                                                         is_write)):
+                access = self.memsys.access(
+                    self.core_id, sim_addr, sim_size, sim_write, 0)
+                # An L1 hit fully pipelines behind the handler's own
+                # instruction; only miss latency stalls the core.
+                cycles += max(0, access.latency
+                              - self.config.l1_config.access_latency)
+        return cycles
+
+    # -- accelerator flushing ------------------------------------------------------------------
+
+    def _deliver_flushed(self, events) -> int:
+        """Process events forced out of an accelerator; returns their cost."""
+        cost = 0
+        for event in events:
+            handler_cost, accesses = self.lifeguard.handle(event)
+            cost += self.costs.it_flush_row_cost + handler_cost
+            self.events_delivered += 1
+            cost += self._metadata_access_cycles(accesses)
+        return cost
+
+    def _stall_flush(self) -> int:
+        """Before any stall: flush RID-holding accelerator state once and
+        publish accurate progress (the deadlock-freedom rule)."""
+        if self._stall_flushed:
+            return 0
+        self._stall_flushed = True
+        cost = self._deliver_flushed(self.it.flush_rid_holding())
+        if self.iff.track_rids:
+            self.iff.invalidate_all()
+        self._publish_accurate()
+        return cost
+
+    def _accel_conflict_flush(self, record: Record) -> int:
+        """Apply the lifeguard's configured accelerator response to a
+        high-level conflicting event — a received CA_MARK, or the
+        thread's own HL record (local conflicts flush the same state)."""
+        subscription = (record.hl_kind, hl_phase_of(record))
+        cost = 1
+        lifeguard = self.lifeguard
+        if subscription in lifeguard.ca_flush_it:
+            cost += self._deliver_flushed(self.it.flush_all())
+        if subscription in lifeguard.ca_invalidate_if:
+            self.iff.invalidate_all()
+        if subscription in lifeguard.ca_flush_mtlb:
+            self.mtlb.flush()
+        return cost
+
+    def _drain_accelerators(self) -> int:
+        return self._deliver_flushed(self.it.flush_all())
+
+    # -- progress publication -----------------------------------------------------------------------
+
+    def _publish(self, tid: int) -> int:
+        """Publish (possibly delayed) progress for ``tid``; returns flush cost."""
+        if self.progress_table is None:
+            return 0
+        processed = self._processed.get(tid, 0)
+        if not self.delayed_advertising:
+            self.progress_table.publish(tid, processed)
+            return 0
+        cost = 0
+        advertised = self._advertise_target(tid, processed)
+        threshold = self.config.delayed_advertising_threshold
+        if threshold and processed - advertised > threshold:
+            cost = self._deliver_flushed(
+                self.it.flush_stale(tid, processed - threshold + 1))
+            if self.iff.track_rids:
+                self.iff.invalidate_all()
+            advertised = self._advertise_target(tid, processed)
+        self.progress_table.publish(tid, advertised)
+        return cost
+
+    def _advertise_target(self, tid: int, processed: int) -> int:
+        held = []
+        it_min = self.it.min_held_rid(tid)
+        if it_min is not None:
+            held.append(it_min)
+        if_min = self.iff.min_held_rid()
+        if if_min is not None:
+            held.append(if_min)
+        if not held:
+            return processed
+        return min(min(held) - 1, processed)
+
+    def _publish_accurate(self) -> None:
+        if self.progress_table is None:
+            return
+        for tid, rid in self._processed.items():
+            self.progress_table.publish(tid, rid)
+
+    def on_finish(self) -> None:
+        self._publish_accurate()

@@ -1,0 +1,17 @@
+"""Order enforcement: the lifeguard-side half of the platform.
+
+* :class:`ProgressTable` — the memory-mapped table of per-thread
+  progress counters (Section 5.2, CNI-style), with wake-up conditions
+  for consumers blocked on a dependence arc.
+* :class:`VersionStore` — TSO versioned-metadata exchange between
+  produce/consume annotations (Section 5.5).
+* :class:`SyscallRangeTable` — per-thread table of active system-call
+  memory ranges for race detection against unmonitored kernel activity
+  (Section 5.4).
+"""
+
+from repro.enforce.progress import ProgressTable
+from repro.enforce.versions import VersionStore
+from repro.enforce.range_table import SyscallRangeTable
+
+__all__ = ["ProgressTable", "SyscallRangeTable", "VersionStore"]

@@ -1,0 +1,56 @@
+"""Hardware range table for system-call race detection (Section 5.4).
+
+CA-Begin records for system calls insert the call's memory ranges into
+the table; CA-End records remove them. While a range is active, any
+monitored memory access from *another* thread overlapping it is racing
+with unmonitored kernel activity — e.g. a load from a buffer that a
+concurrent ``read()`` may or may not have filled yet. Lifeguards use
+this to act conservatively (TaintCheck taints the destination and warns
+of the race).
+
+The paper sizes the table at one entry per core; we allow a few ranges
+per thread (a thread has at most one system call in flight, but a call
+may carry several ranges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.address import ranges_overlap
+
+
+class SyscallRangeTable:
+    """Active (issuing-tid, ranges) entries keyed by ConflictAlert id."""
+
+    def __init__(self):
+        self._active: Dict[int, Tuple[int, tuple]] = {}
+        # Statistics
+        self.inserts = 0
+        self.races_flagged = 0
+
+    def insert(self, ca_id: int, issuer_tid: int, ranges) -> None:
+        self._active[ca_id] = (issuer_tid, tuple(ranges))
+        self.inserts += 1
+
+    def remove(self, ca_id: int) -> None:
+        self._active.pop(ca_id, None)
+
+    def racing_access(self, tid: int, addr: int,
+                      size: int) -> Optional[Tuple[int, int]]:
+        """If (addr, size) by ``tid`` races an active remote syscall range,
+        return (issuer_tid, ca_id); otherwise None."""
+        for ca_id, (issuer, ranges) in self._active.items():
+            if issuer == tid:
+                continue
+            for start, length in ranges:
+                if ranges_overlap(addr, size, start, length):
+                    self.races_flagged += 1
+                    return (issuer, ca_id)
+        return None
+
+    def active_entries(self) -> List[Tuple[int, int, tuple]]:
+        return [(ca, tid, ranges) for ca, (tid, ranges) in self._active.items()]
+
+    def __len__(self):
+        return len(self._active)

@@ -1,0 +1,35 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each ``figureN``/``*_analysis`` function runs the required simulations
+and returns a structured result with the same rows/series the paper
+reports; ``repro.eval.reporting`` renders them as text tables. The
+benchmark harness under ``benchmarks/`` is a thin wrapper around these.
+"""
+
+from repro.eval.experiments import (
+    Figure6Result,
+    Figure7Result,
+    Figure8Result,
+    constant_resource_comparison,
+    figure6,
+    figure7,
+    figure8,
+    headline_summary,
+    swaptions_analysis,
+    table1_setup,
+)
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "Figure6Result",
+    "Figure7Result",
+    "Figure8Result",
+    "constant_resource_comparison",
+    "figure6",
+    "figure7",
+    "figure8",
+    "format_table",
+    "headline_summary",
+    "swaptions_analysis",
+    "table1_setup",
+]

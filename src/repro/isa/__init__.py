@@ -1,0 +1,57 @@
+"""Micro-op instruction set and the workload program DSL.
+
+Workload kernels are Python generators that *yield* :class:`MicroOp`
+objects — the dynamic instruction trace of one application thread. The
+simulated core retires one micro-op at a time, sending load results back
+into the generator, so workload control flow (loops, branches, lock
+spins) runs in ordinary Python while the *memory and register behaviour*
+is fully visible to the monitoring hardware.
+"""
+
+from repro.isa.instructions import (
+    HLEventKind,
+    HLPhase,
+    MicroOp,
+    OpKind,
+    alu,
+    critical_use,
+    hl_begin,
+    hl_end,
+    load,
+    loadi,
+    movrr,
+    nop,
+    rmw,
+    store,
+)
+from repro.isa.registers import NUM_REGISTERS, R0, R1, R2, R3, R4, R5, R6, R7
+from repro.isa.program import Barrier, SpinLock, ThreadApi
+
+__all__ = [
+    "Barrier",
+    "HLEventKind",
+    "HLPhase",
+    "MicroOp",
+    "NUM_REGISTERS",
+    "OpKind",
+    "R0",
+    "R1",
+    "R2",
+    "R3",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "SpinLock",
+    "ThreadApi",
+    "alu",
+    "critical_use",
+    "hl_begin",
+    "hl_end",
+    "load",
+    "loadi",
+    "movrr",
+    "nop",
+    "rmw",
+    "store",
+]

@@ -1,0 +1,19 @@
+"""Architectural register names.
+
+The simulated ISA has 16 general-purpose registers. Register *values*
+are carried by the workload's own Python variables; the register indices
+exist so that lifeguards (and the Inheritance-Tracking accelerator) can
+track per-register metadata such as taint, exactly as the paper's
+TaintCheck tracks "tainted state for every register of the application".
+"""
+
+NUM_REGISTERS = 16
+
+R0, R1, R2, R3, R4, R5, R6, R7 = range(8)
+R8, R9, R10, R11, R12, R13, R14, R15 = range(8, 16)
+
+__all__ = [
+    "NUM_REGISTERS",
+    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+]

@@ -1,0 +1,42 @@
+"""Instruction-grain lifeguards.
+
+The framework mirrors the structure the paper observes in Section 2:
+each lifeguard keeps metadata for every application memory location (a
+two-level :class:`MetadataMap`) and registers, and consists of event
+handlers triggered by delivered application events.
+
+Shipped lifeguards:
+
+* :class:`TaintCheck` — data-flow (taint) tracking, the paper's primary
+  lifeguard (Newsome & Song); uses IT + M-TLB.
+* :class:`AddrCheck` — memory-access (allocation) checking (Nethercote);
+  uses IF + M-TLB and only needs high-level event ordering.
+* :class:`MemCheck` — initialized/addressable tracking (extension).
+* :class:`LockSet` — Eraser-style race detection (extension), the
+  demonstration of Section 5.3's slow-path synchronization rules.
+"""
+
+from repro.lifeguards.base import Lifeguard, Violation
+from repro.lifeguards.metadata import MetadataMap
+from repro.lifeguards.taintcheck import TaintCheck
+from repro.lifeguards.addrcheck import AddrCheck
+from repro.lifeguards.memcheck import MemCheck
+from repro.lifeguards.lockset import LockSet
+
+LIFEGUARDS = {
+    "taintcheck": TaintCheck,
+    "addrcheck": AddrCheck,
+    "memcheck": MemCheck,
+    "lockset": LockSet,
+}
+
+__all__ = [
+    "AddrCheck",
+    "LIFEGUARDS",
+    "Lifeguard",
+    "LockSet",
+    "MemCheck",
+    "MetadataMap",
+    "TaintCheck",
+    "Violation",
+]

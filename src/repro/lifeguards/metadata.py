@@ -1,0 +1,163 @@
+"""The two-level shadow-metadata map.
+
+Matches the organization described in Section 6 of the paper: a
+first-level pointer array indexed by the high bits of the application
+address, pointing to lazily allocated second-level chunks holding the
+actual metadata bits. The paper's lifeguards use 2 metadata bits per
+application byte (TaintCheck) or 1 bit per byte (AddrCheck).
+
+Two views of the metadata coexist:
+
+* the *semantic* view — ``get``/``set`` operate on Python state and are
+  exact; this is what lifeguard correctness tests compare;
+* the *simulated* view — :meth:`sim_accesses` maps an application access
+  to the metadata byte range a real handler would touch, which the
+  lifeguard core then sends through its own L1 for timing.
+
+The metadata virtual-address mapping is linear (``META_BASE +
+app_addr * bits / 8``), which together with >=32-byte cache lines gives
+the bit-manipulation-race freedom argued in Section 5.3: two
+application addresses sharing a metadata byte always share an
+application cache line, so cross-thread conflicts on that metadata byte
+are already ordered by the captured arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Base of the simulated metadata virtual address region.
+META_BASE = 0x8000_0000
+
+#: Application bytes covered by one second-level chunk.
+CHUNK_APP_BYTES = 64 * 1024
+
+_VALID_BITS = (1, 2, 4, 8)
+
+
+class MetadataMap:
+    """bits-per-app-byte shadow state with lazy two-level allocation."""
+
+    def __init__(self, bits_per_byte: int, base_addr: int = META_BASE):
+        if bits_per_byte not in _VALID_BITS:
+            raise ConfigurationError(
+                f"bits_per_byte must be one of {_VALID_BITS}, got {bits_per_byte}"
+            )
+        self.bits_per_byte = bits_per_byte
+        self.base_addr = base_addr
+        self._mask = (1 << bits_per_byte) - 1
+        self._per_byte = 8 // bits_per_byte  # app bytes per metadata byte
+        self._chunks: Dict[int, bytearray] = {}
+        self._chunk_meta_bytes = CHUNK_APP_BYTES * bits_per_byte // 8
+
+    # -- semantic view -----------------------------------------------------------
+
+    def _locate(self, app_addr: int, create: bool):
+        chunk_no, offset = divmod(app_addr, CHUNK_APP_BYTES)
+        chunk = self._chunks.get(chunk_no)
+        if chunk is None and create:
+            chunk = bytearray(self._chunk_meta_bytes)
+            self._chunks[chunk_no] = chunk
+        byte_index, slot = divmod(offset, self._per_byte)
+        return chunk, byte_index, slot * self.bits_per_byte
+
+    def get(self, app_addr: int) -> int:
+        """Metadata bits for one application byte (0 if never set)."""
+        chunk, byte_index, shift = self._locate(app_addr, create=False)
+        if chunk is None:
+            return 0
+        return (chunk[byte_index] >> shift) & self._mask
+
+    def set(self, app_addr: int, value: int) -> None:
+        """Set the metadata bits for one application byte."""
+        chunk, byte_index, shift = self._locate(app_addr, create=True)
+        current = chunk[byte_index]
+        chunk[byte_index] = (current & ~(self._mask << shift)) | (
+            (value & self._mask) << shift
+        )
+
+    def get_access(self, app_addr: int, size: int) -> int:
+        """OR of the metadata bits across an access (taint semantics)."""
+        result = 0
+        for i in range(size):
+            result |= self.get(app_addr + i)
+        return result
+
+    def set_access(self, app_addr: int, size: int, value: int) -> None:
+        for i in range(size):
+            self.set(app_addr + i, value)
+
+    def set_range(self, app_addr: int, length: int, value: int) -> None:
+        for i in range(length):
+            self.set(app_addr + i, value)
+
+    def all_equal(self, app_addr: int, length: int, value: int) -> bool:
+        """True iff every byte of the range carries exactly ``value``."""
+        return all(self.get(app_addr + i) == value for i in range(length))
+
+    def any_equal(self, app_addr: int, length: int, value: int) -> bool:
+        return any(self.get(app_addr + i) == value for i in range(length))
+
+    def nonzero_items(self) -> Iterator[Tuple[int, int]]:
+        """Every (app_addr, bits) pair with nonzero metadata (test helper)."""
+        for chunk_no in sorted(self._chunks):
+            chunk = self._chunks[chunk_no]
+            chunk_base = chunk_no * CHUNK_APP_BYTES
+            for byte_index, byte in enumerate(chunk):
+                if not byte:
+                    continue
+                for slot in range(self._per_byte):
+                    bits = (byte >> (slot * self.bits_per_byte)) & self._mask
+                    if bits:
+                        yield (chunk_base + byte_index * self._per_byte + slot, bits)
+
+    # -- TSO versioning ------------------------------------------------------------
+
+    def snapshot_range(self, app_addr: int, length: int) -> List[int]:
+        """Copy the per-byte metadata of a range (versioned metadata)."""
+        return [self.get(app_addr + i) for i in range(length)]
+
+    @staticmethod
+    def read_snapshot(snapshot: List[int], snap_base: int, app_addr: int,
+                      size: int) -> int:
+        """OR of snapshot bits for an access inside the snapshot range."""
+        result = 0
+        for i in range(size):
+            index = app_addr + i - snap_base
+            if 0 <= index < len(snapshot):
+                result |= snapshot[index]
+        return result
+
+    # -- simulated view ----------------------------------------------------------------
+
+    def sim_addr(self, app_addr: int) -> int:
+        """Simulated virtual address of the metadata for ``app_addr``."""
+        return self.base_addr + app_addr * self.bits_per_byte // 8
+
+    def sim_accesses(self, app_addr: int, size: int,
+                     is_write: bool) -> List[Tuple[int, int, bool]]:
+        """The timed metadata accesses a handler performs for an access.
+
+        Returns ``(sim_addr, sim_size, is_write)`` tuples sized 1-8 bytes.
+        """
+        first = self.sim_addr(app_addr)
+        last = self.sim_addr(app_addr + size - 1)
+        span = last - first + 1
+        accesses = []
+        addr = first
+        remaining = span
+        while remaining > 0:
+            # Largest power-of-two chunk that keeps the access aligned.
+            chunk = 8
+            while chunk > remaining or addr % chunk:
+                chunk //= 2
+            accesses.append((addr, chunk, is_write))
+            addr += chunk
+            remaining -= chunk
+        return accesses
+
+    @property
+    def resident_chunks(self) -> int:
+        return len(self._chunks)

@@ -1,0 +1,26 @@
+"""Monitoring platform runs.
+
+Three execution schemes, mirroring Figure 6:
+
+* :func:`run_no_monitoring` — the application alone on k cores;
+* :func:`run_timesliced_monitoring` — all application threads
+  time-sliced onto one core, one sequential lifeguard core (the
+  state-of-the-art baseline);
+* :func:`run_parallel_monitoring` — ParaLog: k application cores + k
+  lifeguard cores with order capture/enforcement, ConflictAlert, and
+  parallelized accelerators.
+"""
+
+from repro.platform.monitor_config import AcceleratorConfig
+from repro.platform.results import RunResult
+from repro.platform.baseline import run_no_monitoring
+from repro.platform.paralog import run_parallel_monitoring
+from repro.platform.timesliced import run_timesliced_monitoring
+
+__all__ = [
+    "AcceleratorConfig",
+    "RunResult",
+    "run_no_monitoring",
+    "run_parallel_monitoring",
+    "run_timesliced_monitoring",
+]

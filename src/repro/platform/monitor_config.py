@@ -1,0 +1,22 @@
+"""Monitoring-run configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Which hardware accelerators a run enables (Figure 8 ablations)."""
+
+    use_it: bool = True
+    use_if: bool = True
+    use_mtlb: bool = True
+
+    @classmethod
+    def all_on(cls) -> "AcceleratorConfig":
+        return cls(True, True, True)
+
+    @classmethod
+    def all_off(cls) -> "AcceleratorConfig":
+        return cls(False, False, False)

@@ -1,0 +1,66 @@
+"""Run results: timing, breakdowns, reports, statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunResult:
+    """Everything a single simulation run produced."""
+
+    scheme: str
+    workload: str
+    lifeguard: Optional[str]
+    app_threads: int
+    #: Total simulated cycles until the last core finished.
+    total_cycles: int
+    #: Per-application-core time buckets (execute / wait_log / wait_containment).
+    app_buckets: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-lifeguard-core time buckets (useful / wait_dependence / wait_application).
+    lifeguard_buckets: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Lifeguard-detected violations (kind, tid, rid, detail) tuples.
+    violations: List = field(default_factory=list)
+    #: Free-form statistics (arcs, accelerator hit rates, CA counts, ...).
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: Dynamic application instructions retired.
+    instructions: int = 0
+    #: Captured event trace (only when keep_trace=True).
+    trace: Optional[list] = None
+    #: The lifeguard instance (semantic state), for test assertions.
+    lifeguard_obj: object = None
+
+    def lifeguard_breakdown(self) -> Dict[str, float]:
+        """Aggregate lifeguard time fractions across lifeguard cores.
+
+        Returns fractions of total lifeguard-core time in ``useful``,
+        ``wait_dependence`` and ``wait_application`` — the Figure 7
+        decomposition.
+        """
+        totals: Dict[str, int] = {}
+        for buckets in self.lifeguard_buckets.values():
+            for name, cycles in buckets.items():
+                totals[name] = totals.get(name, 0) + cycles
+        grand = sum(totals.values())
+        if not grand:
+            return {}
+        return {name: cycles / grand for name, cycles in totals.items()}
+
+    def violation_kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.scheme}/{self.workload}"
+            + (f"/{self.lifeguard}" if self.lifeguard else ""),
+            f"threads={self.app_threads}",
+            f"cycles={self.total_cycles}",
+            f"instructions={self.instructions}",
+        ]
+        if self.violations:
+            parts.append(f"violations={len(self.violations)}")
+        return " ".join(parts)

@@ -1,0 +1,90 @@
+"""Workload kernels: the eight Table-1 benchmarks plus synthetic tests.
+
+Use :func:`build_workload` to construct a fresh workload instance (the
+generators are single-use, so every simulation run needs a new one).
+"""
+
+from repro.common.config import ScalePreset
+from repro.common.errors import WorkloadError
+from repro.workloads.base import CustomWorkload, Workload
+from repro.workloads.barnes import Barnes
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.fmm import FMM
+from repro.workloads.lu import LU
+from repro.workloads.ocean import Ocean
+from repro.workloads.radiosity import Radiosity
+from repro.workloads.swaptions import Swaptions
+from repro.workloads.synthetic import (
+    DekkerPair,
+    HeapBugs,
+    RacyCounters,
+    TaintPipeline,
+    TaintedJump,
+    UnsyncCounters,
+)
+
+#: The Table 1 benchmark suite, in the paper's figure order.
+PAPER_BENCHMARKS = (
+    "barnes",
+    "lu",
+    "ocean",
+    "blackscholes",
+    "fluidanimate",
+    "swaptions",
+    "fmm",
+    "radiosity",
+)
+
+WORKLOADS = {
+    "barnes": Barnes,
+    "lu": LU,
+    "ocean": Ocean,
+    "fmm": FMM,
+    "radiosity": Radiosity,
+    "blackscholes": Blackscholes,
+    "fluidanimate": Fluidanimate,
+    "swaptions": Swaptions,
+    "racy_counters": RacyCounters,
+    "taint_pipeline": TaintPipeline,
+    "heap_bugs": HeapBugs,
+    "tainted_jump": TaintedJump,
+    "dekker": DekkerPair,
+    "unsync_counters": UnsyncCounters,
+}
+
+
+def build_workload(name: str, nthreads: int,
+                   scale: ScalePreset = ScalePreset.TINY,
+                   seed: int = 1, **kwargs) -> Workload:
+    """Construct a fresh workload instance by name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(nthreads, scale=scale, seed=seed, **kwargs)
+
+
+__all__ = [
+    "Barnes",
+    "Blackscholes",
+    "CustomWorkload",
+    "DekkerPair",
+    "FMM",
+    "Fluidanimate",
+    "HeapBugs",
+    "LU",
+    "Ocean",
+    "PAPER_BENCHMARKS",
+    "Radiosity",
+    "RacyCounters",
+    "Swaptions",
+    "TaintPipeline",
+    "TaintedJump",
+    "UnsyncCounters",
+    "WORKLOADS",
+    "Workload",
+    "build_workload",
+]

@@ -1,0 +1,122 @@
+"""barnes (SPLASH-2): Barnes-Hut N-body, the pointer-chasing stress case.
+
+Signature reproduced: force computation dominated by *pointer chasing*
+through a shared tree — every traversal step loads a child pointer and
+node payload and feeds them through ALU work, which is exactly the
+instruction mix the paper identifies as invoking expensive TaintCheck
+processing (Figure 7's ~2X "useful work" slowdown). Threads also
+perform locked read-modify-write updates to shared accumulation cells,
+contributing genuine inter-thread dependence arcs.
+
+The tree is prebuilt in :meth:`initialize` (child pointers are real
+memory values), so traversals are data-dependent loads, not Python-side
+shortcuts.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScalePreset
+from repro.isa.registers import R0, R1, R2, R3, R4, R5
+from repro.workloads.base import Workload
+
+_WORD = 4
+#: Node layout: 4 child pointers + 4 payload words = 32 bytes; padded to
+#: one 64-byte line per node (no false sharing between nodes).
+_NODE_BYTES = 64
+_CHILDREN = 4
+
+
+class Barnes(Workload):
+    """Pointer-chasing N-body force computation (SPLASH-2 barnes)."""
+
+    name = "barnes"
+
+    def __init__(self, nthreads, scale=ScalePreset.TINY, seed=1):
+        super().__init__(nthreads, scale, seed)
+        self.num_nodes = self.sized(tiny=256, small=1024, paper=8192)
+        # Fixed total problem size, divided across threads (SPLASH-2
+        # keeps the input constant as the thread count grows).
+        self.total_bodies = self.sized(tiny=80, small=240, paper=16384)
+        self.bodies_per_thread = max(1, self.total_bodies // self.nthreads)
+        self.max_depth = self.sized(tiny=7, small=9, paper=12)
+        self._nodes = self.galloc_lines(self.num_nodes)
+        self._cells = self.galloc_lines(16)  # shared accumulation cells
+        self._locks = [self.make_lock() for _ in range(16)]
+        self._barrier = self.make_barrier()
+        # Per-thread spill slots for the force accumulators (pointer-
+        # chasing recursion spills registers to the stack).
+        self._spill = [self.galloc_lines(1) for _ in range(nthreads)]
+
+    def _node_addr(self, index: int) -> int:
+        return self._nodes + index * _NODE_BYTES
+
+    def initialize(self, memory, os_runtime):
+        """Build a random tree: child pointer words hold node addresses."""
+        rng = self.rng
+        for index in range(self.num_nodes):
+            base = self._node_addr(index)
+            for child in range(_CHILDREN):
+                # Children point strictly forward (acyclic); leaves hold 0.
+                lo = index * _CHILDREN + 1
+                target = lo + child
+                if target < self.num_nodes and rng.random() < 0.9:
+                    memory.write(base + child * _WORD, _WORD,
+                                 self._node_addr(target))
+                else:
+                    memory.write(base + child * _WORD, _WORD, 0)
+            for payload in range(8):
+                memory.write(base + (4 + payload) * _WORD, _WORD,
+                             rng.randrange(1 << 16))
+
+    def thread_programs(self, apis):
+        return [self._thread(apis[tid], tid) for tid in range(self.nthreads)]
+
+    def _thread(self, api, tid):
+        rng = self.thread_rng(tid)
+        yield from self._barrier.wait(api)
+        for body in range(self.bodies_per_thread):
+            node = self._node_addr(0)
+            depth = 0
+            yield from api.loadi(R5)  # force accumulator starts untainted
+            spill = self._spill[tid]
+            while node and depth < self.max_depth:
+                # Load the node payload and fold it into the accumulator:
+                # the pointer-chasing, ALU-heavy inner loop whose multi-way
+                # metadata merges defeat inheritance tracking — barnes is
+                # the paper's expensive-lifeguard-processing case.
+                # The force kernel folds six distinct payload words into
+                # the accumulator one by one; every second fold overflows
+                # IT's two-source rows, so much of barnes's computation is
+                # *delivered* rather than absorbed — the expensive-
+                # lifeguard-processing signature the paper reports.
+                yield from api.load(R1, node + 16)
+                yield from api.load(R2, node + 20)
+                yield from api.load(R3, node + 24)
+                yield from api.load(R4, node + 28)
+                yield from api.alu(R5, R5, R1)
+                yield from api.alu(R5, R5, R2)
+                yield from api.alu(R5, R5, R3)
+                yield from api.alu(R5, R5, R4)
+                yield from api.load(R1, node + 32)
+                yield from api.load(R2, node + 36)
+                yield from api.alu(R5, R5, R1)
+                yield from api.alu(R5, R5, R2)
+                # Register pressure: the partial force spills to the stack
+                # and reloads (deep traversals always spill).
+                yield from api.store(spill, R5, value=depth)
+                yield from api.load(R5, spill)
+                child_slot = (body + depth + rng.randrange(_CHILDREN)) % _CHILDREN
+                node = yield from api.load(R0, node + child_slot * _WORD)
+                depth += 1
+            # Locked update of a shared accumulation cell every other body.
+            if body % 2 == 0:
+                cell = rng.randrange(16)
+                lock = self._locks[cell % len(self._locks)]
+                yield from lock.acquire(api)
+                cell_addr = self._cells + cell * 64
+                current = yield from api.load(R4, cell_addr)
+                yield from api.alu(R4, R4, R5)
+                yield from api.store(cell_addr, R4,
+                                     value=(current + body) & 0xFFFF)
+                yield from lock.release(api)
+        yield from self._barrier.wait(api)

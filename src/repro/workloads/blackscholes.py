@@ -1,0 +1,76 @@
+"""blackscholes (PARSEC): embarrassingly data-parallel option pricing.
+
+Signature reproduced: threads read a private slab of option parameters
+(via a ``read()`` system call — the TaintCheck taint source), then run a
+long ALU-dominated kernel per option with *no* inter-thread sharing
+beyond the start/end barriers, and finally write results out. Under
+parallel monitoring this workload shows near-zero dependence stalls and
+scales linearly — the paper's best case.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScalePreset
+from repro.isa.registers import R0, R1, R2, R3, R4, R5
+from repro.workloads.base import Workload
+
+#: Bytes per option record (4 words) and per result (1 word).
+_OPTION_BYTES = 16
+_RESULT_BYTES = 4
+#: ALU operations per option (the Black-Scholes formula body).
+_ALU_PER_OPTION = 14
+
+
+class Blackscholes(Workload):
+    """Data-parallel option pricing (PARSEC blackscholes)."""
+
+    name = "blackscholes"
+
+    def __init__(self, nthreads, scale=ScalePreset.TINY, seed=1):
+        super().__init__(nthreads, scale, seed)
+        # Fixed total option count divided across threads (PARSEC keeps
+        # the input file constant as the thread count grows).
+        self.total_options = self.sized(tiny=48, small=300, paper=10000)
+        self.options_per_thread = max(1, self.total_options // self.nthreads)
+        self._inputs = [
+            self.galloc_lines(
+                (self.options_per_thread * _OPTION_BYTES + 63) // 64)
+            for _ in range(self.nthreads)
+        ]
+        self._outputs = [
+            self.galloc_lines((self.options_per_thread * _RESULT_BYTES + 63) // 64)
+            for _ in range(self.nthreads)
+        ]
+        self._barrier = self.make_barrier()
+
+    def thread_programs(self, apis):
+        return [
+            self._thread(apis[tid], tid) for tid in range(self.nthreads)
+        ]
+
+    def _thread(self, api, tid):
+        count = self.options_per_thread
+        inputs = self._inputs[tid]
+        outputs = self._outputs[tid]
+        yield from api.syscall_read(inputs, count * _OPTION_BYTES)
+        yield from self._barrier.wait(api)
+        for i in range(count):
+            yield from api.loop_overhead(4)
+            base = inputs + i * _OPTION_BYTES
+            spot = yield from api.load(R0, base)
+            yield from api.load(R1, base + 4)
+            yield from api.load(R2, base + 8)
+            yield from api.load(R3, base + 12)
+            # The pricing formula: a burst of register computation whose
+            # result inherits taint from all four inputs.
+            yield from api.alu(R4, R0, R1)
+            yield from api.alu(R5, R2, R3)
+            for _ in range((_ALU_PER_OPTION - 4) // 2):
+                yield from api.alu(R4, R4, R5)
+                yield from api.alu(R5, R5, R4)
+            yield from api.alu(R4, R4, R5)
+            yield from api.alu(R4, R4)
+            yield from api.store(outputs + i * _RESULT_BYTES, R4,
+                                 value=(spot * 31 + i) & 0xFFFF)
+        yield from self._barrier.wait(api)
+        yield from api.syscall_write(outputs, count * _RESULT_BYTES)

@@ -1,0 +1,91 @@
+"""fmm (SPLASH-2): fast multipole method — interaction-list traversal.
+
+Signature reproduced: particles grouped into cells; each thread walks
+its cells' precomputed interaction lists (indirect loads through a list
+of cell indices), performs a moderate ALU burst per interaction, and
+occasionally takes a lock to update a remote cell's accumulator —
+moderate sharing between barnes's pointer chasing and LU's regularity.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScalePreset
+from repro.isa.registers import R0, R1, R2, R3, R4
+from repro.workloads.base import Workload
+
+_WORD = 4
+_CELL_BYTES = 64  # one line per cell: 4 payload words + accumulator
+
+
+class FMM(Workload):
+    """Interaction-list traversal (SPLASH-2 fmm)."""
+
+    name = "fmm"
+
+    def __init__(self, nthreads, scale=ScalePreset.TINY, seed=1):
+        super().__init__(nthreads, scale, seed)
+        self.num_cells = self.sized(tiny=32, small=128, paper=1024)
+        self.list_length = self.sized(tiny=6, small=10, paper=16)
+        self.rounds = self.sized(tiny=2, small=3, paper=6)
+        self._cells = self.galloc_lines(self.num_cells)
+        self._lists = self.galloc_lines(
+            (self.num_cells * self.list_length * _WORD + 63) // 64)
+        self._locks = [self.make_lock() for _ in range(8)]
+        self._barrier = self.make_barrier()
+
+    def _cell_addr(self, index: int) -> int:
+        return self._cells + index * _CELL_BYTES
+
+    def _list_addr(self, cell: int, slot: int) -> int:
+        return self._lists + (cell * self.list_length + slot) * _WORD
+
+    def initialize(self, memory, os_runtime):
+        rng = self.rng
+        for cell in range(self.num_cells):
+            base = self._cell_addr(cell)
+            for word in range(4):
+                memory.write(base + word * _WORD, _WORD, rng.randrange(1 << 14))
+            for slot in range(self.list_length):
+                # Interaction lists store *cell indices*; heavy locality
+                # around the owner with occasional remote partners.
+                partner = (cell + rng.randrange(1, 8)) % self.num_cells
+                memory.write(self._list_addr(cell, slot), _WORD, partner)
+
+    def _cells_for(self, tid: int):
+        """Contiguous cell bands; interaction lists reach into other
+        threads' bands, which is where the sharing comes from."""
+        start = tid * self.num_cells // self.nthreads
+        end = (tid + 1) * self.num_cells // self.nthreads
+        return list(range(start, end))
+
+    def thread_programs(self, apis):
+        return [self._thread(apis[tid], tid) for tid in range(self.nthreads)]
+
+    def _thread(self, api, tid):
+        cells = self._cells_for(tid)
+        rng = self.thread_rng(tid)
+        for _round in range(self.rounds):
+            for cell in cells:
+                base = self._cell_addr(cell)
+                yield from api.load(R0, base)
+                yield from api.load(R1, base + 4)
+                yield from api.alu(R4, R0, R1)
+                for slot in range(self.list_length):
+                    yield from api.loop_overhead(3)
+                    partner = yield from api.load(R2, self._list_addr(cell, slot))
+                    partner_base = self._cell_addr(partner % self.num_cells)
+                    yield from api.load(R3, partner_base + 8)
+                    yield from api.alu(R4, R4, R3)
+                    yield from api.alu(R4, R4, R2)
+                # A few interactions update the partner under a lock.
+                if rng.random() < 0.25:
+                    partner = (cell + 1) % self.num_cells
+                    lock = self._locks[partner % len(self._locks)]
+                    yield from lock.acquire(api)
+                    acc_addr = self._cell_addr(partner) + 16
+                    acc = yield from api.load(R2, acc_addr)
+                    yield from api.alu(R2, R2, R4)
+                    yield from api.store(acc_addr, R2, value=(acc + cell) & 0xFFFF)
+                    yield from lock.release(api)
+                yield from api.store(base + 16, R4, value=cell)
+            yield from self._barrier.wait(api)

@@ -1,0 +1,97 @@
+"""radiosity (SPLASH-2): irregular task-queue parallelism.
+
+Signature reproduced: a central work queue protected by a spin lock;
+threads pop a task, run an irregular amount of load/ALU work against the
+task's patch data, and sometimes push follow-up tasks. The contended
+queue lock and migrating task data generate bursty inter-thread arcs and
+load imbalance — the irregular end of the SPLASH-2 spectrum.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScalePreset
+from repro.isa.registers import R0, R1, R2, R3, R4
+from repro.workloads.base import Workload
+
+_WORD = 4
+_PATCH_BYTES = 64
+
+
+class Radiosity(Workload):
+    """Lock-protected task queue (SPLASH-2 radiosity)."""
+
+    name = "radiosity"
+
+    def __init__(self, nthreads, scale=ScalePreset.TINY, seed=1):
+        super().__init__(nthreads, scale, seed)
+        self.initial_tasks = self.sized(tiny=64, small=160, paper=1024)
+        self.max_tasks = self.initial_tasks * 2
+        self.work_per_task = self.sized(tiny=24, small=36, paper=48)
+        self._queue_lock = self.make_lock()
+        # Queue: head index, tail index, then a ring of task ids.
+        self._queue_meta = self.galloc_lines(1)
+        self._queue_ring = self.galloc_lines(
+            (self.max_tasks * _WORD + 63) // 64)
+        self._patches = self.galloc_lines(self.max_tasks)
+        self._spawned = 0
+
+    def _ring_addr(self, index: int) -> int:
+        return self._queue_ring + (index % self.max_tasks) * _WORD
+
+    def _patch_addr(self, task: int) -> int:
+        return self._patches + (task % self.max_tasks) * _PATCH_BYTES
+
+    def initialize(self, memory, os_runtime):
+        rng = self.rng
+        memory.write(self._queue_meta, _WORD, 0)  # head
+        memory.write(self._queue_meta + 4, _WORD, self.initial_tasks)  # tail
+        for task in range(self.initial_tasks):
+            memory.write(self._ring_addr(task), _WORD, task + 1)
+        for task in range(self.max_tasks):
+            base = self._patch_addr(task)
+            for word in range(8):
+                memory.write(base + word * _WORD, _WORD, rng.randrange(1 << 13))
+        self._spawned = self.initial_tasks
+
+    def thread_programs(self, apis):
+        return [self._thread(apis[tid], tid) for tid in range(self.nthreads)]
+
+    def _pop_task(self, api):
+        """Locked queue pop; returns the task id or 0 when empty."""
+        yield from self._queue_lock.acquire(api)
+        head = yield from api.load(R0, self._queue_meta)
+        tail = yield from api.load(R1, self._queue_meta + 4)
+        task = 0
+        if head < tail:
+            task = yield from api.load(R2, self._ring_addr(head))
+            yield from api.store(self._queue_meta, R0, value=head + 1)
+        yield from self._queue_lock.release(api)
+        return task
+
+    def _push_task(self, api, task: int):
+        yield from self._queue_lock.acquire(api)
+        tail = yield from api.load(R1, self._queue_meta + 4)
+        if tail - (yield from api.load(R0, self._queue_meta)) < self.max_tasks:
+            yield from api.store(self._ring_addr(tail), R2, value=task)
+            yield from api.store(self._queue_meta + 4, R1, value=tail + 1)
+        yield from self._queue_lock.release(api)
+
+    def _thread(self, api, tid):
+        rng = self.thread_rng(tid)
+        spawn_budget = self.initial_tasks // (2 * self.nthreads)
+        while True:
+            task = yield from self._pop_task(api)
+            if not task:
+                break
+            base = self._patch_addr(task)
+            yield from api.loadi(R4)
+            for step in range(self.work_per_task):
+                yield from api.loop_overhead(3)
+                slot = (step * 5 + task) % 8
+                yield from api.load(R3, base + slot * _WORD)
+                yield from api.alu(R4, R4, R3)
+            yield from api.store(base + 32, R4, value=task)
+            if spawn_budget > 0 and rng.random() < 0.2:
+                spawn_budget -= 1
+                self._spawned += 1
+                yield from self._push_task(api, self._spawned)

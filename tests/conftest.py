@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.common.config import LifeguardCostConfig, SimulationConfig
+from repro.cpu.os_model import AddressLayout
+
+
+@pytest.fixture
+def config2():
+    """A 2-app-thread Table-1 configuration."""
+    return SimulationConfig.for_threads(2)
+
+
+@pytest.fixture
+def config4():
+    return SimulationConfig.for_threads(4)
+
+
+@pytest.fixture
+def costs():
+    return LifeguardCostConfig()
+
+
+@pytest.fixture
+def heap_range():
+    return AddressLayout.heap_range()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration tests")

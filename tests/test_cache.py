@@ -1,0 +1,99 @@
+"""Unit tests for the set-associative tag array."""
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import SetAssocCache
+
+
+def tiny_cache(assoc=2, sets=2):
+    return SetAssocCache(
+        CacheConfig(size_bytes=64 * assoc * sets, line_bytes=64,
+                    associativity=assoc)
+    )
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert tiny_cache().lookup(5) is None
+
+    def test_insert_then_lookup(self):
+        cache = tiny_cache()
+        cache.insert(4, "M")
+        assert cache.lookup(4) == "M"
+
+    def test_contains(self):
+        cache = tiny_cache()
+        cache.insert(4, "S")
+        assert 4 in cache
+        assert 6 not in cache
+
+    def test_len_counts_all_sets(self):
+        cache = tiny_cache()
+        cache.insert(0, "S")  # set 0
+        cache.insert(1, "S")  # set 1
+        assert len(cache) == 2
+
+
+class TestLRU:
+    def test_eviction_removes_least_recently_used(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.insert(0, "a")
+        cache.insert(1, "b")
+        evicted = cache.insert(2, "c")
+        assert evicted == (0, "a")
+
+    def test_lookup_refreshes_lru(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.insert(0, "a")
+        cache.insert(1, "b")
+        cache.lookup(0)  # 0 becomes most-recent; 1 is now the victim
+        evicted = cache.insert(2, "c")
+        assert evicted == (1, "b")
+
+    def test_lookup_without_touch_keeps_order(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.insert(0, "a")
+        cache.insert(1, "b")
+        cache.lookup(0, touch=False)
+        evicted = cache.insert(2, "c")
+        assert evicted == (0, "a")
+
+    def test_reinsert_same_line_never_evicts(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.insert(0, "a")
+        cache.insert(1, "b")
+        assert cache.insert(0, "a2") is None
+        assert cache.lookup(0) == "a2"
+
+    def test_sets_are_independent(self):
+        cache = tiny_cache(assoc=1, sets=2)
+        cache.insert(0, "a")  # set 0
+        assert cache.insert(1, "b") is None  # set 1, no conflict
+        assert cache.insert(2, "c") == (0, "a")  # set 0 again
+
+
+class TestUpdateInvalidate:
+    def test_update_changes_payload_in_place(self):
+        cache = tiny_cache()
+        cache.insert(3, "S")
+        cache.update(3, "M")
+        assert cache.lookup(3) == "M"
+
+    def test_update_missing_line_is_noop(self):
+        cache = tiny_cache()
+        cache.update(3, "M")
+        assert cache.lookup(3) is None
+
+    def test_invalidate_returns_old_payload(self):
+        cache = tiny_cache()
+        cache.insert(3, "E")
+        assert cache.invalidate(3) == "E"
+        assert cache.lookup(3) is None
+
+    def test_invalidate_missing_returns_none(self):
+        assert tiny_cache().invalidate(9) is None
+
+    def test_resident_lines_iterates_everything(self):
+        cache = tiny_cache()
+        cache.insert(0, "a")
+        cache.insert(1, "b")
+        assert dict(cache.resident_lines()) == {0: "a", 1: "b"}

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "lu"])
+        assert args.workload == "lu"
+        assert args.threads == 2
+        assert args.scheme == "parallel"
+        assert args.lifeguard == "taintcheck"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out and "taintcheck" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "8 (=4 app + 4 lifeguard)" in out
+
+    def test_run_parallel(self, capsys):
+        assert main(["run", "racy_counters", "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel/racy_counters/taintcheck" in out
+        assert "arcs_recorded" in out
+
+    def test_run_reports_violations(self, capsys):
+        assert main(["run", "tainted_jump", "--lifeguard", "taintcheck"]) == 0
+        assert "tainted-critical-use" in capsys.readouterr().out
+
+    def test_run_no_monitoring(self, capsys):
+        assert main(["run", "lu", "--scheme", "none"]) == 0
+        assert "no_monitoring/lu" in capsys.readouterr().out
+
+    def test_run_timesliced(self, capsys):
+        assert main(["run", "lu", "--scheme", "timesliced"]) == 0
+        assert "timesliced/lu" in capsys.readouterr().out
+
+    def test_run_tso_without_accel(self, capsys):
+        assert main(["run", "dekker", "--memory-model", "tso",
+                     "--no-accel"]) == 0
+        assert "parallel/dekker" in capsys.readouterr().out
+
+    def test_figure6_subset(self, capsys):
+        assert main(["figure6", "--benchmarks", "lu",
+                     "--thread-counts", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "lu" in out
+
+    def test_figure7_subset(self, capsys):
+        assert main(["figure7", "--benchmarks", "swaptions",
+                     "--thread-counts", "2",
+                     "--lifeguard", "addrcheck"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_figure8_subset(self, capsys):
+        assert main(["figure8", "--benchmarks", "lu",
+                     "--max-threads", "2"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_headline_subset(self, capsys):
+        assert main(["headline", "--benchmarks", "lu",
+                     "--max-threads", "2"]) == 0
+        assert "timesliced_speedup_max" in capsys.readouterr().out
+
+    def test_swaptions_analysis(self, capsys):
+        assert main(["swaptions", "--threads", "2"]) == 0
+        assert "alloc_free_pairs" in capsys.readouterr().out

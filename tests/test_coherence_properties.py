@@ -1,0 +1,115 @@
+"""Property-based MESI invariants.
+
+Drives the coherent memory system with random access sequences and
+checks the protocol invariants after every access:
+
+* single-writer: at most one core holds a line in M or E;
+* an M/E holder excludes all other copies;
+* the directory's sharer set matches the L1s' actual contents;
+* conflict tags always name the *latest* conflicting access.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig, SimulationConfig
+from repro.memory.coherence import CoherentMemorySystem
+
+N_CORES = 4
+LINES = 6
+BASE = 0x1000_0000
+
+_access = st.tuples(
+    st.integers(0, N_CORES - 1),   # core
+    st.integers(0, LINES - 1),     # line slot
+    st.booleans(),                 # is_write
+)
+
+
+def _check_invariants(memsys):
+    for entries in memsys._l2._sets:
+        for line, entry in entries.items():
+            holders = {}
+            for core in range(N_CORES):
+                state = memsys._l1[core].lookup(line, touch=False)
+                if state is not None:
+                    holders[core] = state
+            exclusive = [c for c, s in holders.items() if s in ("M", "E")]
+            assert len(exclusive) <= 1, "multiple M/E holders"
+            if exclusive:
+                assert len(holders) == 1, "M/E coexists with other copies"
+                assert entry.owner == exclusive[0]
+            # Directory sharers must cover every actual holder.
+            assert set(holders) <= entry.sharers
+    # Inclusion: every L1-resident line exists in the L2.
+    for core in range(N_CORES):
+        for line, _state in memsys._l1[core].resident_lines():
+            assert memsys._l2.lookup(line, touch=False) is not None, \
+                "inclusion violated"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_access, min_size=1, max_size=120))
+def test_mesi_invariants_hold_under_random_traffic(accesses):
+    memsys = CoherentMemorySystem(SimulationConfig.for_threads(2), N_CORES)
+    for rid, (core, slot, is_write) in enumerate(accesses, start=1):
+        memsys.access(core, BASE + slot * 64, 4, is_write, rid)
+        _check_invariants(memsys)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_access, min_size=1, max_size=120))
+def test_conflict_tags_name_the_latest_access(accesses):
+    """A RAW conflict must name the most recent write to the line; WAR
+    conflicts must name each reader's most recent read."""
+    memsys = CoherentMemorySystem(SimulationConfig.for_threads(2), N_CORES)
+    last_write = {}   # line slot -> (core, rid)
+    last_read = {}    # (line slot, core) -> rid
+
+    for rid, (core, slot, is_write) in enumerate(accesses, start=1):
+        result = memsys.access(core, BASE + slot * 64, 4, is_write, rid)
+        for conflict in result.conflicts:
+            assert conflict.core != core
+            if conflict.is_writer:
+                assert last_write.get(slot) == (conflict.core, conflict.rid)
+            else:
+                assert last_read.get((slot, conflict.core)) == conflict.rid
+        if is_write:
+            last_write[slot] = (core, rid)
+            for reader in range(N_CORES):
+                last_read.pop((slot, reader), None)
+        else:
+            last_read[(slot, core)] = rid
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_access, min_size=1, max_size=80))
+def test_tiny_l2_eviction_preserves_dependence_tags(accesses):
+    """Even with a pathologically small L2 (constant evictions), conflict
+    tags survive through the side table — the losslessness lifeguard
+    ordering depends on."""
+    config = SimulationConfig.for_threads(2).replace(
+        l2_config=CacheConfig(size_bytes=64 * 2, line_bytes=64,
+                              associativity=2, access_latency=6))
+    memsys = CoherentMemorySystem(config, N_CORES)
+    last_write = {}
+    first_read_done = set()  # (slot, core) pairs that read since the write
+    for rid, (core, slot, is_write) in enumerate(accesses, start=1):
+        result = memsys.access(core, BASE + slot * 64, 4, is_write, rid)
+        if not is_write and slot in last_write:
+            writer_core, writer_rid = last_write[slot]
+            writers = [(c.core, c.rid) for c in result.conflicts
+                       if c.is_writer]
+            if writer_core != core and (slot, core) not in first_read_done:
+                # The first read after a remote write must miss (the
+                # write invalidated this copy) and carry the tag — even
+                # if the L2 evicted the line in between.
+                assert writers == [(writer_core, writer_rid)]
+            else:
+                # Re-reads may hit (no conflict) or re-miss after an
+                # eviction; if a tag comes back it must be the right one.
+                assert writers in ([], [(writer_core, writer_rid)])
+            first_read_done.add((slot, core))
+        if is_write:
+            last_write[slot] = (core, rid)
+            first_read_done = {pair for pair in first_read_done
+                               if pair[0] != slot}

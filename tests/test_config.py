@@ -1,0 +1,119 @@
+"""Unit tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    CaptureMode,
+    LifeguardCostConfig,
+    LogBufferConfig,
+    MemoryModel,
+    ScalePreset,
+    SimulationConfig,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cache = CacheConfig(size_bytes=64 * 1024, line_bytes=64,
+                            associativity=4)
+        assert cache.num_sets == 256
+
+    def test_fully_associative_single_set(self):
+        cache = CacheConfig(size_bytes=1024, line_bytes=64, associativity=16)
+        assert cache.num_sets == 1
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1024, line_bytes=-1)
+
+
+class TestLogBufferConfig:
+    def test_capacity_records_default(self):
+        log = LogBufferConfig()
+        assert log.size_bytes == 64 * 1024
+        assert log.capacity_records == 64 * 1024
+
+    def test_capacity_with_sub_byte_records(self):
+        log = LogBufferConfig(size_bytes=1024, bytes_per_record=0.5)
+        assert log.capacity_records == 2048
+
+
+class TestSimulationConfig:
+    def test_defaults_match_table1(self):
+        config = SimulationConfig()
+        assert config.l1_config.size_bytes == 64 * 1024
+        assert config.l1_config.line_bytes == 64
+        assert config.l1_config.associativity == 4
+        assert config.l2_config.associativity == 8
+        assert config.memory_latency == 90
+        assert config.log_config.size_bytes == 64 * 1024
+        assert config.memory_model is MemoryModel.SC
+        assert config.capture_mode is CaptureMode.PER_BLOCK
+
+    @pytest.mark.parametrize("threads,l2_mb", [(1, 2), (2, 2), (4, 4), (8, 8)])
+    def test_for_threads_scales_l2(self, threads, l2_mb):
+        config = SimulationConfig.for_threads(threads)
+        assert config.app_threads == threads
+        assert config.l2_config.size_bytes == l2_mb * 1024 * 1024
+
+    def test_for_threads_overrides(self):
+        config = SimulationConfig.for_threads(2, memory_model=MemoryModel.TSO)
+        assert config.memory_model is MemoryModel.TSO
+
+    def test_replace_returns_modified_copy(self):
+        config = SimulationConfig()
+        changed = config.replace(seed=42)
+        assert changed.seed == 42
+        assert config.seed == 1
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(app_threads=0)
+
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                l1_config=CacheConfig(size_bytes=1024, line_bytes=32,
+                                      associativity=4),
+            )
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(delayed_advertising_threshold=-1)
+
+    def test_rejects_empty_store_buffer(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(store_buffer_entries=0)
+
+    def test_line_bytes_property(self):
+        assert SimulationConfig().line_bytes == 64
+
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(Exception):
+            config.seed = 7
+
+
+class TestLifeguardCostConfig:
+    def test_mtlb_saves_address_computation(self, costs):
+        assert costs.mtlb_hit_cost < costs.metadata_addr_cost
+
+    def test_fast_path_under_ten_instructions(self, costs):
+        # The paper: frequent handler code paths are typically composed
+        # of fewer than ten instructions.
+        fast_path = (costs.dispatch_cost + costs.handler_body_cost
+                     + costs.mtlb_hit_cost)
+        assert fast_path < 10
+
+
+class TestScalePreset:
+    def test_members(self):
+        assert {p.value for p in ScalePreset} == {"tiny", "small", "paper"}

@@ -1,0 +1,137 @@
+"""End-to-end ConflictAlert behaviour: logical races that coherence never
+sees (free() vs a far-away access) must still be ordered, and the
+Section 7 touch-the-blocks ablation must keep AddrCheck sound for
+thread-private allocations."""
+
+import pytest
+
+from repro import (
+    AddrCheck,
+    SimulationConfig,
+    TaintCheck,
+    build_workload,
+    run_parallel_monitoring,
+)
+from repro.cpu.os_model import AddressLayout
+from repro.isa.registers import R0, R1
+from repro.lifeguards.oracle import replay
+from repro.workloads import CustomWorkload
+
+
+def shared_heap_workload():
+    """Thread 0 allocates and publishes a block; thread 1 reads it while
+    allocated, signals, and only then does thread 0 free it. Correct CA
+    ordering means AddrCheck sees no violation; a leaky barrier would
+    misorder the free's metadata update against the reads."""
+
+    def owner(api, workload):
+        buf = yield from api.malloc(256)
+        for word in range(8):
+            yield from api.store(buf + word * 4, R0, value=word)
+        yield from api.store(workload.ptr_cell, R0, value=buf)
+        done = 0
+        while not done:
+            done = yield from api.load(R1, workload.done_cell)
+            if not done:
+                yield from api.pause(16)
+        yield from api.free(buf)
+        # Reuse after free: a fresh allocation likely lands on the same
+        # lines, exercising IF/metadata invalidation.
+        second = yield from api.malloc(128)
+        yield from api.load(R0, second)
+        yield from api.free(second)
+
+    def reader(api, workload):
+        buf = 0
+        while not buf:
+            buf = yield from api.load(R0, workload.ptr_cell)
+            if not buf:
+                yield from api.pause(16)
+        for word in range(8):
+            # The accesses are far from the allocator's header words: no
+            # coherence traffic links them to the upcoming free().
+            yield from api.load(R1, buf + word * 4)
+        yield from api.store(workload.done_cell, R0, value=1)
+
+    workload = CustomWorkload([owner, reader], name="shared_heap")
+    workload.ptr_cell = workload.galloc_lines(1)
+    workload.done_cell = workload.galloc_lines(1)
+    return workload
+
+
+class TestLogicalRaces:
+    def test_ca_barrier_orders_free_against_remote_reads(self):
+        result = run_parallel_monitoring(
+            shared_heap_workload(), AddrCheck,
+            SimulationConfig.for_threads(2), keep_trace=True)
+        assert result.violations == []
+        oracle = replay(result.trace, lambda: AddrCheck(
+            heap_range=AddressLayout.heap_range()))
+        assert (result.lifeguard_obj.metadata_fingerprint()
+                == oracle.metadata_fingerprint())
+
+    def test_ca_broadcasts_happen_per_allocation_event(self):
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 2), AddrCheck,
+            SimulationConfig.for_threads(2))
+        allocations = result.stats["allocations"]
+        # One CA for each malloc (END) and each free (BEGIN).
+        assert result.stats["ca_broadcasts"] == (
+            allocations["count"] + allocations["frees"])
+
+    def test_every_ca_inserts_marks_in_all_other_running_threads(self):
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 3), AddrCheck,
+            SimulationConfig.for_threads(3))
+        # Most broadcasts happen while all three threads run.
+        assert result.stats["ca_marks"] >= result.stats["ca_broadcasts"]
+
+
+class TestTouchAblation:
+    def test_small_allocations_skip_the_broadcast(self):
+        config = SimulationConfig.for_threads(2).replace(
+            ca_touch_threshold_lines=128)  # everything qualifies
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 2), AddrCheck, config)
+        assert result.stats["ca_broadcasts"] == 0
+        assert result.violations == []
+
+    def test_ablation_keeps_addrcheck_sound_on_swaptions(self):
+        config = SimulationConfig.for_threads(2).replace(
+            ca_touch_threshold_lines=128)
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 2), AddrCheck, config,
+            keep_trace=True)
+        oracle = replay(result.trace, lambda: AddrCheck(
+            heap_range=AddressLayout.heap_range()))
+        assert (result.lifeguard_obj.metadata_fingerprint()
+                == oracle.metadata_fingerprint())
+
+    def test_partial_threshold_splits_by_size(self):
+        config = SimulationConfig.for_threads(2).replace(
+            ca_touch_threshold_lines=1)  # only <=64B allocations touch
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 2), AddrCheck, config)
+        allocations = result.stats["allocations"]
+        total_events = allocations["count"] + allocations["frees"]
+        assert 0 < result.stats["ca_broadcasts"] < total_events
+
+    def test_ablation_reduces_ca_stalls(self):
+        config = SimulationConfig.for_threads(4)
+        with_ca = run_parallel_monitoring(
+            build_workload("swaptions", 4), AddrCheck, config)
+        ablated = run_parallel_monitoring(
+            build_workload("swaptions", 4), AddrCheck,
+            config.replace(ca_touch_threshold_lines=128))
+        assert ablated.stats["ca_stalls"] < with_ca.stats["ca_stalls"]
+
+    def test_taintcheck_stays_correct_under_ablation(self):
+        config = SimulationConfig.for_threads(2).replace(
+            ca_touch_threshold_lines=128)
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 2), TaintCheck, config,
+            keep_trace=True)
+        oracle = replay(result.trace, lambda: TaintCheck(
+            heap_range=AddressLayout.heap_range()))
+        assert (result.lifeguard_obj.metadata_fingerprint()
+                == oracle.metadata_fingerprint())

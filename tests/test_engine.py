@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event engine and actor framework."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.cpu.engine import Condition, CoreActor, Engine
+
+
+class ScriptedActor(CoreActor):
+    """Runs a list of step actions, recording when each executes."""
+
+    def __init__(self, engine, name, script):
+        super().__init__(engine, name)
+        self.script = list(script)
+        self.trace = []
+
+    def step(self):
+        if not self.script:
+            return ("done",)
+        action = self.script.pop(0)
+        self.trace.append((self.engine.now, action))
+        return action
+
+
+class TestEngine:
+    def test_time_advances_by_delays(self):
+        engine = Engine()
+        actor = ScriptedActor(engine, "a", [("delay", 5, "x"),
+                                            ("delay", 3, "x")])
+        actor.start()
+        assert engine.run() == 8
+        assert actor.buckets.get("x") == 8
+
+    def test_zero_delay_steps_inline(self):
+        engine = Engine()
+        actor = ScriptedActor(engine, "a", [("delay", 0, "x")] * 100)
+        actor.start()
+        assert engine.run() == 0
+
+    def test_ties_break_by_schedule_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append("first"))
+        engine.schedule(5, lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_max_cycles_guard(self):
+        engine = Engine()
+        class Forever(CoreActor):
+            def step(self):
+                return ("delay", 10, "x")
+        Forever(engine, "f").start()
+        with pytest.raises(SimulationError):
+            engine.run(max_cycles=100)
+
+    def test_unknown_action_raises(self):
+        engine = Engine()
+        ScriptedActor(engine, "a", [("bogus",)]).start()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestConditions:
+    def test_wait_charges_bucket_on_wake(self):
+        engine = Engine()
+        condition = Condition("c")
+        waiter = ScriptedActor(engine, "w",
+                               [("wait", condition, "blocked", "test")])
+        waiter.start()
+
+        class Notifier(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "n")
+                self.fired = False
+            def step(self):
+                if self.fired:
+                    return ("done",)
+                self.fired = True
+                return ("delay", 10, "x")
+            def on_finish(self):
+                condition.notify_all(engine)
+
+        Notifier(engine).start()
+        engine.run()
+        assert waiter.finished
+        assert waiter.buckets.get("blocked") == 10
+
+    def test_deadlock_reports_wait_reasons(self):
+        engine = Engine()
+        condition = Condition("never")
+        ScriptedActor(engine, "stuck",
+                      [("wait", condition, "b", "waiting forever")]).start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        assert "stuck" in exc.value.waiting
+        assert "waiting forever" in exc.value.waiting["stuck"]
+
+    def test_spurious_wakeup_rewaits(self):
+        engine = Engine()
+        condition = Condition("c")
+
+        class Rewaiter(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "r")
+                self.attempts = 0
+                self.ready = False
+            def step(self):
+                if self.ready:
+                    return ("done",)
+                self.attempts += 1
+                return ("wait", condition, "b", "not ready")
+
+        waiter = Rewaiter(engine)
+        waiter.start()
+
+        def wake_then_release():
+            condition.notify_all(engine)  # spurious
+            def release():
+                waiter.ready = True
+                condition.notify_all(engine)
+            engine.schedule(5, release)
+
+        engine.schedule(1, wake_then_release)
+        engine.run()
+        assert waiter.finished
+        assert waiter.attempts == 2
+
+    def test_notify_clears_waiters(self):
+        engine = Engine()
+        condition = Condition("c")
+
+        class Parked(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "p")
+                self.woken = False
+            def step(self):
+                if self.woken:
+                    return ("done",)
+                self.woken = True
+                return ("wait", condition, "b", "parked")
+
+        Parked(engine).start()
+        engine.schedule(3, lambda: condition.notify_all(engine))
+        engine.run()
+        assert condition.waiter_count == 0
+
+    def test_finish_time_recorded(self):
+        engine = Engine()
+        actor = ScriptedActor(engine, "a", [("delay", 7, "x")])
+        actor.start()
+        engine.run()
+        assert actor.finish_time == 7

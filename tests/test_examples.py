@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs successfully."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "exploit_detection.py",
+    "heap_bug_hunt.py",
+    "tso_dekker.py",
+    "race_detection.py",
+    "accelerator_ablation.py",
+    "custom_lifeguard.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_examples_directory_lists_all_scripts():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert "figure_reproduction.py" in present

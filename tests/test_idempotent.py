@@ -1,0 +1,86 @@
+"""Unit tests for the Idempotent Filter."""
+
+import pytest
+
+from repro.accel.idempotent import IdempotentFilter
+
+
+class TestFiltering:
+    def test_first_check_misses_then_hits(self):
+        filt = IdempotentFilter(entries=4)
+        assert not filt.check(("k", 1), rid=1)
+        assert filt.check(("k", 1), rid=2)
+        assert (filt.misses, filt.hits) == (1, 1)
+
+    def test_distinct_keys_do_not_alias(self):
+        filt = IdempotentFilter(entries=4)
+        filt.check((0x100, 4), 1)
+        assert not filt.check((0x104, 4), 2)
+
+    def test_fifo_eviction(self):
+        filt = IdempotentFilter(entries=2)
+        filt.check("a", 1)
+        filt.check("b", 2)
+        filt.check("c", 3)  # evicts "a" (the oldest entry)
+        assert not filt.check("a", 4)  # re-inserting evicts "b"
+        assert filt.check("c", 5)
+
+    def test_disabled_filter_never_hits(self):
+        filt = IdempotentFilter(entries=4, enabled=False)
+        filt.check("a", 1)
+        assert not filt.check("a", 2)
+        assert filt.entry_count == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            IdempotentFilter(entries=0)
+
+
+class TestInvalidation:
+    def test_invalidate_all(self):
+        filt = IdempotentFilter(entries=4)
+        filt.check("a", 1)
+        filt.invalidate_all()
+        assert not filt.check("a", 2)
+        assert filt.invalidations == 1
+
+    def test_invalidate_all_on_empty_is_free(self):
+        filt = IdempotentFilter(entries=4)
+        filt.invalidate_all()
+        assert filt.invalidations == 0
+
+    def test_invalidate_overlapping_range_keys(self):
+        filt = IdempotentFilter(entries=8)
+        filt.check((0x100, 4, "ac"), 1)
+        filt.check((0x200, 4, "ac"), 2)
+        filt.invalidate_overlapping(0x100, 4)
+        assert not filt.check((0x100, 4, "ac"), 3)
+        assert filt.check((0x200, 4, "ac"), 4)
+
+    def test_invalidate_overlapping_partial(self):
+        filt = IdempotentFilter(entries=8)
+        filt.check((0x100, 8, "ac"), 1)
+        filt.invalidate_overlapping(0x104, 2)
+        assert not filt.check((0x100, 8, "ac"), 2)
+
+    def test_invalidate_overlapping_ignores_opaque_keys(self):
+        filt = IdempotentFilter(entries=8)
+        filt.check("opaque", 1)
+        filt.invalidate_overlapping(0, 1 << 40)
+        assert filt.check("opaque", 2)
+
+
+class TestDelayedAdvertising:
+    def test_untracked_filter_reports_none(self):
+        filt = IdempotentFilter(entries=4, track_rids=False)
+        filt.check("a", 5)
+        assert filt.min_held_rid() is None
+
+    def test_tracked_filter_reports_min(self):
+        filt = IdempotentFilter(entries=4, track_rids=True)
+        filt.check("a", 5)
+        filt.check("b", 3)
+        assert filt.min_held_rid() == 3
+
+    def test_tracked_empty_reports_none(self):
+        assert IdempotentFilter(entries=4, track_rids=True).min_held_rid() is None

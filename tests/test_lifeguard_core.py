@@ -1,0 +1,172 @@
+"""Direct unit tests for the LifeguardCore consumer state machine."""
+
+import pytest
+
+from repro.capture.events import Record, RecordKind
+from repro.capture.log_buffer import LogBuffer
+from repro.common.config import LogBufferConfig, SimulationConfig
+from repro.cpu.engine import Engine
+from repro.cpu.lifeguard_core import LifeguardCore
+from repro.enforce.progress import ProgressTable
+from repro.isa.instructions import HLEventKind, alu, load, loadi, store
+from repro.isa.registers import R0, R1
+from repro.lifeguards.taintcheck import TaintCheck
+from repro.memory.coherence import CoherentMemorySystem
+
+
+class Harness:
+    """One lifeguard core fed by a hand-written record stream."""
+
+    def __init__(self, tids=(0, 1), **core_kwargs):
+        self.engine = Engine()
+        self.config = SimulationConfig.for_threads(2)
+        self.log = LogBuffer(self.engine, LogBufferConfig(), "log")
+        self.memsys = CoherentMemorySystem(self.config, num_cores=4)
+        self.progress = ProgressTable(self.engine, list(tids))
+        self.lifeguard = TaintCheck()
+        self.core = LifeguardCore(
+            self.engine, "lifeguard0", core_id=2, tid=0, log=self.log,
+            lifeguard=self.lifeguard, memsys=self.memsys, config=self.config,
+            progress_table=self.progress, **core_kwargs)
+        self._rid = 0
+
+    def feed(self, op, arcs=None):
+        self._rid += 1
+        record = Record.from_op(0, self._rid, op)
+        for arc in arcs or ():
+            record.add_arc(*arc)
+        assert self.log.try_append(record)
+        return record
+
+    def run(self):
+        self.log.close()
+        self.core.start()
+        return self.engine.run()
+
+
+class TestProcessing:
+    def test_processes_to_completion_and_publishes(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100))
+        harness.feed(store(0x200, R0, value=1))
+        harness.run()
+        assert harness.core.finished
+        assert harness.core.records_processed == 2
+        assert harness.progress.get(0) == 2
+
+    def test_semantics_survive_it_absorption(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100))
+        harness.feed(alu(R1, R0))
+        harness.feed(store(0x200, R1, value=1))
+        harness.run()
+        # Taint of 0x100 (none) flowed to 0x200 (none); registers settled.
+        assert harness.lifeguard.regs(0)[R1] == 0
+
+    def test_dependence_arc_blocks_until_progress(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100), arcs=[(1, 5)])
+        harness.log.close()
+        harness.core.start()
+        # Release the arc a while in; the consumer must wait until then.
+        harness.engine.schedule(500, lambda: harness.progress.publish(1, 5))
+        total = harness.engine.run()
+        assert total >= 500
+        assert harness.core.dependence_stalls == 1
+        assert harness.core.buckets.get("wait_dependence") > 0
+
+    def test_satisfied_arcs_do_not_stall(self):
+        harness = Harness()
+        harness.progress.publish(1, 10)
+        harness.feed(load(R0, 0x100), arcs=[(1, 5)])
+        harness.run()
+        assert harness.core.dependence_stalls == 0
+
+    def test_arcs_ignored_when_not_enforced(self):
+        harness = Harness(enforce_arcs=False)
+        harness.feed(load(R0, 0x100), arcs=[(1, 99)])
+        harness.run()  # would deadlock if the arc were enforced
+        assert harness.core.dependence_stalls == 0
+
+    def test_wait_application_accounted(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100))
+        harness.core.start()
+        def finish():
+            harness.feed(loadi(R0))
+            harness.log.close()
+        harness.engine.schedule(300, finish)
+        harness.engine.run()
+        assert harness.core.buckets.get("wait_application") > 0
+
+
+class TestDelayedAdvertising:
+    def test_final_progress_is_accurate(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100))  # rid 1: absorbed, row holds rid 1
+        harness.feed(loadi(R1))        # rid 2
+        harness.run()
+        # Thread exit flushes everything: the final publish is accurate.
+        assert harness.progress.get(0) == 2
+
+    def test_advertised_lags_while_it_holds_state(self):
+        harness = Harness(delayed_advertising=True)
+        published = []
+        original = harness.progress.publish
+        harness.progress.publish = lambda tid, rid: (
+            published.append((tid, rid)), original(tid, rid))
+        harness.feed(load(R0, 0x100))   # rid 1 -> row holds rid 1
+        harness.feed(loadi(R1))         # rid 2
+        harness.run()
+        # While the row for rid 1 was held, the advertised value stayed
+        # at 0 (= min held rid - 1).
+        assert (0, 0) in published
+        assert harness.progress.get(0) == 2
+
+    def test_accurate_mode_publishes_processed(self):
+        harness = Harness(delayed_advertising=False)
+        published = []
+        original = harness.progress.publish
+        harness.progress.publish = lambda tid, rid: (
+            published.append((tid, rid)), original(tid, rid))
+        harness.feed(load(R0, 0x100))
+        harness.run()
+        assert (0, 1) in published
+
+
+class TestThresholdFlush:
+    def test_stale_rows_flush_at_the_threshold(self):
+        harness = Harness()
+        config = harness.config.replace(delayed_advertising_threshold=4)
+        harness.core.config = config
+        harness.feed(load(R0, 0x100))  # rid 1, held
+        for _ in range(8):
+            harness.feed(loadi(R1))
+        harness.run()
+        # Well before the end, the rid-1 row must have been force-flushed
+        # so progress could advance past the threshold lag.
+        assert harness.core.it.min_held_rid(0) is None
+        assert harness.progress.get(0) == 9
+
+
+class TestHighLevelRecords:
+    def test_hl_event_applies_semantics(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100))
+        op = loadi(R0)
+        harness.feed(op)
+        from repro.isa.instructions import hl_end
+        harness.feed(hl_end(HLEventKind.SYSCALL_READ, ranges=((0x300, 8),)))
+        harness.run()
+        assert harness.lifeguard.metadata.all_equal(0x300, 8, 1)
+
+    def test_local_hl_flushes_it_per_config(self):
+        harness = Harness()
+        harness.feed(load(R0, 0x100))  # absorbed into IT
+        from repro.isa.instructions import hl_begin
+        harness.feed(hl_begin(HLEventKind.FREE, ranges=((0x100, 4),)))
+        harness.run()
+        # TaintCheck's ca_flush_it covers (FREE, BEGIN): the row was
+        # flushed before the free handler cleared the range's taint.
+        assert harness.core.it.row_count == 0
+        assert harness.core.it.full_flushes >= 1

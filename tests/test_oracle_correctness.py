@@ -1,0 +1,134 @@
+"""Oracle-based end-to-end correctness: the parallel platform's lifeguard
+state must equal a sequential replay of the captured trace in coherence
+order — for every benchmark, both lifeguards, and all accelerator and
+capture-mode combinations. This is the test that catches ordering bugs
+(lost arcs, bad flushes, leaky CA barriers)."""
+
+import pytest
+
+from repro import (
+    AcceleratorConfig,
+    AddrCheck,
+    MemCheck,
+    SimulationConfig,
+    TaintCheck,
+    build_workload,
+    run_parallel_monitoring,
+    run_timesliced_monitoring,
+)
+from repro.common.config import CaptureMode
+from repro.cpu.os_model import AddressLayout
+from repro.lifeguards.oracle import linearize, replay
+
+
+def oracle_for(lifeguard_cls, trace):
+    return replay(
+        trace, lambda: lifeguard_cls(heap_range=AddressLayout.heap_range()))
+
+
+def assert_matches_oracle(result, lifeguard_cls):
+    oracle = oracle_for(lifeguard_cls, result.trace)
+    assert (result.lifeguard_obj.metadata_fingerprint()
+            == oracle.metadata_fingerprint())
+
+
+PARALLEL_CASES = [
+    ("racy_counters", TaintCheck, 4),
+    ("taint_pipeline", TaintCheck, 4),
+    ("barnes", TaintCheck, 2),
+    ("lu", TaintCheck, 2),
+    ("ocean", TaintCheck, 2),
+    ("fmm", TaintCheck, 2),
+    ("radiosity", TaintCheck, 2),
+    ("blackscholes", TaintCheck, 2),
+    ("fluidanimate", TaintCheck, 2),
+    ("swaptions", TaintCheck, 2),
+    ("swaptions", AddrCheck, 2),
+    ("heap_bugs", AddrCheck, 3),
+    ("swaptions", MemCheck, 2),
+]
+
+
+@pytest.mark.parametrize("name,lifeguard,threads", PARALLEL_CASES)
+def test_parallel_monitoring_matches_oracle(name, lifeguard, threads):
+    result = run_parallel_monitoring(
+        build_workload(name, threads), lifeguard,
+        SimulationConfig.for_threads(threads), keep_trace=True)
+    assert_matches_oracle(result, lifeguard)
+
+
+@pytest.mark.parametrize("accel", [
+    AcceleratorConfig.all_on(),
+    AcceleratorConfig.all_off(),
+    AcceleratorConfig(use_it=True, use_if=False, use_mtlb=False),
+    AcceleratorConfig(use_it=False, use_if=True, use_mtlb=True),
+])
+def test_every_accelerator_combination_matches_oracle(accel):
+    result = run_parallel_monitoring(
+        build_workload("taint_pipeline", 3), TaintCheck,
+        SimulationConfig.for_threads(3), accel=accel, keep_trace=True)
+    assert_matches_oracle(result, TaintCheck)
+
+
+@pytest.mark.parametrize("mode", [CaptureMode.PER_BLOCK, CaptureMode.PER_CORE])
+def test_both_capture_modes_match_oracle(mode):
+    config = SimulationConfig.for_threads(4).replace(capture_mode=mode)
+    result = run_parallel_monitoring(
+        build_workload("racy_counters", 4), TaintCheck, config,
+        keep_trace=True)
+    assert_matches_oracle(result, TaintCheck)
+
+
+def test_reduction_disabled_matches_oracle():
+    config = SimulationConfig.for_threads(4).replace(
+        transitive_reduction=False)
+    result = run_parallel_monitoring(
+        build_workload("racy_counters", 4), TaintCheck, config,
+        keep_trace=True)
+    assert_matches_oracle(result, TaintCheck)
+
+
+def test_tiny_log_buffer_matches_oracle():
+    config = SimulationConfig.for_threads(2).replace(
+        log_config=SimulationConfig().log_config.__class__(size_bytes=128))
+    result = run_parallel_monitoring(
+        build_workload("racy_counters", 2), TaintCheck, config,
+        keep_trace=True)
+    assert_matches_oracle(result, TaintCheck)
+
+
+def test_small_advertising_threshold_matches_oracle():
+    config = SimulationConfig.for_threads(2).replace(
+        delayed_advertising_threshold=4)
+    result = run_parallel_monitoring(
+        build_workload("taint_pipeline", 2), TaintCheck, config,
+        keep_trace=True)
+    assert_matches_oracle(result, TaintCheck)
+
+
+def test_timesliced_matches_oracle():
+    result = run_timesliced_monitoring(
+        build_workload("racy_counters", 3), TaintCheck,
+        SimulationConfig.for_threads(3), keep_trace=True)
+    assert_matches_oracle(result, TaintCheck)
+
+
+class TestLinearize:
+    def test_linearization_is_sorted_and_complete(self):
+        result = run_parallel_monitoring(
+            build_workload("racy_counters", 2), TaintCheck,
+            SimulationConfig.for_threads(2), keep_trace=True)
+        ordered = linearize(result.trace)
+        assert len(ordered) == len(result.trace)
+        times = [record.commit_time for record in ordered]
+        assert times == sorted(times)
+
+    def test_per_thread_program_order_preserved(self):
+        result = run_parallel_monitoring(
+            build_workload("racy_counters", 2), TaintCheck,
+            SimulationConfig.for_threads(2), keep_trace=True)
+        ordered = linearize(result.trace)
+        last_rid = {}
+        for record in ordered:
+            assert last_rid.get(record.tid, 0) < record.rid
+            last_rid[record.tid] = record.rid

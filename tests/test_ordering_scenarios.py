@@ -1,0 +1,232 @@
+"""Hand-crafted multi-thread ordering scenarios.
+
+Each test constructs a precise interleaving with pauses/flags and
+asserts the *semantic* outcome the order-enforcement machinery must
+produce — including the paper's Figure 3 remote-conflict scenario, run
+end-to-end through the real platform.
+"""
+
+import pytest
+
+from repro import SimulationConfig, TaintCheck, build_workload, \
+    run_parallel_monitoring
+from repro.cpu.os_model import AddressLayout
+from repro.isa.registers import R0, R1, R2
+from repro.lifeguards.oracle import replay
+from repro.workloads import CustomWorkload
+
+
+def run_taint(workload, threads, **kwargs):
+    return run_parallel_monitoring(
+        workload, TaintCheck, SimulationConfig.for_threads(threads),
+        keep_trace=True, **kwargs)
+
+
+def tainted_addresses(result):
+    return {addr for addr, _bits in
+            result.lifeguard_obj.metadata.nonzero_items()}
+
+
+class TestFigure3EndToEnd:
+    """The paper's Figure 3: thread 0 copies A -> %eax -> %ebx -> B while
+    thread 1 overwrites A. Delayed advertising must hold thread 0's
+    progress until the IT rows referencing A die, so thread 1's
+    overwrite (j) can never be processed between the deferred read of A
+    and the mem-to-mem delivery."""
+
+    A = 0x1000_0000
+    B = 0x1000_0040
+    FLAG = 0x1000_0080
+
+    def make_workload(self, overwrite_delay):
+        a_addr, b_addr, flag = self.A, self.B, self.FLAG
+
+        def copier(api, workload):
+            # Taint A first (thread-local; CA orders the syscall).
+            yield from api.syscall_read(a_addr, 4)
+            yield from api.store(flag, R2, value=1)
+            yield from api.load(R0, a_addr)      # i:   %eax <- A
+            yield from api.movrr(R1, R0)         # i+1: %ebx <- %eax
+            yield from api.store(b_addr, R1, value=7)  # i+2: B <- %ebx
+
+        def overwriter(api, workload):
+            ready = 0
+            while not ready:
+                ready = yield from api.load(R0, flag)
+                if not ready:
+                    yield from api.pause(8)
+            yield from api.pause(overwrite_delay)
+            yield from api.loadi(R1)
+            yield from api.store(a_addr, R1, value=0)  # j: A <- untainted
+
+        return CustomWorkload([copier, overwriter], name="figure3")
+
+    @pytest.mark.parametrize("overwrite_delay", [1, 4, 16, 64, 256])
+    def test_b_is_tainted_regardless_of_race_timing(self, overwrite_delay):
+        result = run_taint(self.make_workload(overwrite_delay), 2)
+        oracle = replay(result.trace, lambda: TaintCheck(
+            heap_range=AddressLayout.heap_range()))
+        assert (result.lifeguard_obj.metadata_fingerprint()
+                == oracle.metadata_fingerprint())
+        # Whatever the timing, the copy i..i+2 retired before j could
+        # matter only if coherence ordered it so; in every schedule B's
+        # taint must equal the value A held when thread 0 *read* it.
+        # Thread 0 reads A after tainting it, so B ends tainted.
+        assert self.B in tainted_addresses(result)
+
+
+class TestProducerConsumerTaint:
+    def test_taint_follows_the_handoff_chain(self):
+        """p taints X, publishes via flag; c relays X -> Y, publishes; d
+        copies Y -> Z. Taint must survive two cross-thread hops."""
+        x, y, z = 0x1000_0000, 0x1000_0100, 0x1000_0200
+        f1, f2 = 0x1000_0300, 0x1000_0340
+
+        def producer(api, workload):
+            yield from api.syscall_read(x, 4)
+            yield from api.store(f1, R2, value=1)
+
+        def relay(api, workload):
+            while not (yield from api.load(R0, f1)):
+                yield from api.pause(8)
+            yield from api.load(R1, x)
+            yield from api.store(y, R1, value=1)
+            yield from api.store(f2, R2, value=1)
+
+        def sink(api, workload):
+            while not (yield from api.load(R0, f2)):
+                yield from api.pause(8)
+            yield from api.load(R1, y)
+            yield from api.store(z, R1, value=1)
+
+        result = run_taint(CustomWorkload([producer, relay, sink],
+                                          name="handoff"), 3)
+        tainted = tainted_addresses(result)
+        assert {x, y, z} <= tainted
+
+    def test_untainted_overwrite_wins_when_ordered_after(self):
+        """The relay forwards X only after the producer *untaints* it
+        (stores an immediate over the tainted bytes): Y must end clean."""
+        x, y, flag = 0x1000_0000, 0x1000_0100, 0x1000_0200
+
+        def producer(api, workload):
+            yield from api.syscall_read(x, 4)
+            yield from api.loadi(R1)
+            yield from api.store(x, R1, value=0)  # untaint X
+            yield from api.store(flag, R2, value=1)
+
+        def relay(api, workload):
+            while not (yield from api.load(R0, flag)):
+                yield from api.pause(8)
+            yield from api.load(R1, x)
+            yield from api.store(y, R1, value=1)
+
+        result = run_taint(CustomWorkload([producer, relay], name="clean"), 2)
+        tainted = tainted_addresses(result)
+        assert y not in tainted
+        assert not any(y <= addr < y + 4 for addr in tainted)
+
+
+class TestWriteChains:
+    def test_waw_chain_last_writer_wins(self):
+        """Three threads write the same word in a flag-enforced order;
+        the final taint must be the last writer's (tainted)."""
+        target = 0x1000_0000
+        flags = [0x1000_0100, 0x1000_0140]
+        source = 0x1000_0180
+
+        def first(api, workload):
+            yield from api.loadi(R1)
+            yield from api.store(target, R1, value=1)  # clean write
+            yield from api.store(flags[0], R2, value=1)
+
+        def second(api, workload):
+            while not (yield from api.load(R0, flags[0])):
+                yield from api.pause(8)
+            yield from api.loadi(R1)
+            yield from api.store(target, R1, value=2)  # clean write
+            yield from api.store(flags[1], R2, value=1)
+
+        def third(api, workload):
+            yield from api.syscall_read(source, 4)
+            while not (yield from api.load(R0, flags[1])):
+                yield from api.pause(8)
+            yield from api.load(R1, source)
+            yield from api.store(target, R1, value=3)  # tainted write
+
+        result = run_taint(CustomWorkload([first, second, third],
+                                          name="waw"), 3)
+        assert target in tainted_addresses(result)
+
+    def test_reader_flock_never_stalls_each_other(self):
+        """Many readers of one shared line: read-sharing produces no
+        arcs between the readers, so no reader lifeguard ever waits on
+        another reader (only, possibly, on the writer)."""
+        shared = 0x1000_0000
+        flag = 0x1000_0100
+
+        def writer(api, workload):
+            yield from api.syscall_read(shared, 4)
+            yield from api.store(flag, R2, value=1)
+
+        def reader(api, workload):
+            while not (yield from api.load(R0, flag)):
+                yield from api.pause(8)
+            for i in range(10):
+                yield from api.load(R1, shared)
+                yield from api.store(
+                    workload.outs[api.tid], R1, value=i)
+
+        workload = CustomWorkload([writer] + [reader] * 3, name="flock")
+        workload.outs = {tid: workload.galloc_lines(1) for tid in range(4)}
+        result = run_taint(workload, 4)
+        tainted = tainted_addresses(result)
+        for tid in (1, 2, 3):
+            assert workload.outs[tid] in tainted
+        # Reader->reader arcs would show up as arcs between tids 1..3;
+        # assert none exist in the captured trace.
+        for record in result.trace:
+            if record.tid in (1, 2, 3) and record.arcs:
+                for src_tid, _rid in record.arcs:
+                    assert src_tid == 0
+
+
+class TestCriticalUseOrdering:
+    def test_sanitizer_thread_prevents_the_violation(self):
+        """Thread 1 jumps through a pointer only after thread 0
+        sanitizes it (overwrites with an immediate). The flag handoff
+        orders the lifeguards: no violation may be reported."""
+        ptr, flag = 0x1000_0000, 0x1000_0100
+
+        def sanitizer(api, workload):
+            yield from api.syscall_read(ptr, 4)  # attacker data lands
+            yield from api.loadi(R1)
+            yield from api.store(ptr, R1, value=0x4000)  # sanitized
+            yield from api.store(flag, R2, value=1)
+
+        def dispatcher(api, workload):
+            while not (yield from api.load(R0, flag)):
+                yield from api.pause(8)
+            yield from api.load(R1, ptr)
+            yield from api.critical_use(R1, kind="jump")
+
+        result = run_taint(CustomWorkload([sanitizer, dispatcher],
+                                          name="sanitized"), 2)
+        assert result.violations == []
+
+    def test_unsanitized_jump_is_flagged(self):
+        ptr, flag = 0x1000_0000, 0x1000_0100
+
+        def receiver(api, workload):
+            yield from api.syscall_read(ptr, 4)
+            yield from api.store(flag, R2, value=1)
+
+        def dispatcher(api, workload):
+            while not (yield from api.load(R0, flag)):
+                yield from api.pause(8)
+            yield from api.load(R1, ptr)
+            yield from api.critical_use(R1, kind="jump")
+
+        result = run_taint(CustomWorkload([receiver, dispatcher],
+                                          name="unsanitized"), 2)
+        assert result.violation_kinds() == {"tainted-critical-use": 1}

@@ -1,0 +1,85 @@
+"""Unit tests for RunResult helpers and platform result invariants."""
+
+import pytest
+
+from repro import SimulationConfig, TaintCheck, build_workload, \
+    run_parallel_monitoring
+from repro.common.config import LogBufferConfig
+from repro.platform.results import RunResult
+
+
+class TestRunResultHelpers:
+    def make(self, **kwargs):
+        defaults = dict(scheme="parallel", workload="x", lifeguard="t",
+                        app_threads=2, total_cycles=100)
+        defaults.update(kwargs)
+        return RunResult(**defaults)
+
+    def test_breakdown_fractions(self):
+        result = self.make(lifeguard_buckets={
+            "lifeguard0": {"useful": 30, "wait_dependence": 10},
+            "lifeguard1": {"useful": 50, "wait_application": 10},
+        })
+        breakdown = result.lifeguard_breakdown()
+        assert breakdown["useful"] == pytest.approx(0.8)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty(self):
+        assert self.make().lifeguard_breakdown() == {}
+
+    def test_violation_kinds_counts(self):
+        class FakeViolation:
+            def __init__(self, kind):
+                self.kind = kind
+        result = self.make(violations=[FakeViolation("a"),
+                                       FakeViolation("a"),
+                                       FakeViolation("b")])
+        assert result.violation_kinds() == {"a": 2, "b": 1}
+
+    def test_summary_mentions_key_fields(self):
+        text = self.make().summary()
+        assert "parallel/x/t" in text
+        assert "threads=2" in text
+
+    def test_summary_without_lifeguard(self):
+        result = self.make(lifeguard=None, scheme="no_monitoring")
+        assert "no_monitoring/x" in result.summary()
+
+
+class TestResultInvariants:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_parallel_monitoring(
+            build_workload("lu", 2), TaintCheck,
+            SimulationConfig.for_threads(2), keep_trace=True)
+
+    def test_records_equals_instructions_plus_marks(self, result):
+        assert result.stats["records_processed"] == (
+            result.instructions + result.stats["ca_marks"])
+
+    def test_log_totals_match_trace(self, result):
+        assert result.stats["log_records"] == len(result.trace)
+
+    def test_total_cycles_bounds_all_buckets(self, result):
+        for buckets in list(result.app_buckets.values()) + list(
+                result.lifeguard_buckets.values()):
+            assert sum(buckets.values()) <= result.total_cycles
+
+    def test_filtered_plus_delivered_consistent(self, result):
+        stats = result.stats
+        assert stats["events_filtered"] >= 0
+        assert stats["events_delivered"] > 0
+
+    def test_codec_backed_log_preserves_semantics(self):
+        fixed = run_parallel_monitoring(
+            build_workload("lu", 2), TaintCheck,
+            SimulationConfig.for_threads(2))
+        codec_config = SimulationConfig.for_threads(2).replace(
+            log_config=LogBufferConfig(use_codec=True))
+        encoded = run_parallel_monitoring(
+            build_workload("lu", 2), TaintCheck, codec_config)
+        assert (fixed.lifeguard_obj.metadata_fingerprint()
+                == encoded.lifeguard_obj.metadata_fingerprint())
+        # Encoded records are bigger than the 1B model, so the log sees
+        # more bytes for the same record count.
+        assert encoded.stats["log_bytes"] > fixed.stats["log_bytes"]

@@ -1,0 +1,80 @@
+"""Unit tests for repro.common.stats."""
+
+import pytest
+
+from repro.common.stats import Counter, StatsRegistry, TimeBuckets
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("hits")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_repr_names_counter(self):
+        assert "hits=2" in repr(Counter("hits")) or True
+        counter = Counter("hits")
+        counter.add(2)
+        assert "hits=2" in repr(counter)
+
+
+class TestTimeBuckets:
+    def test_charge_and_total(self):
+        buckets = TimeBuckets()
+        buckets.charge("useful", 10)
+        buckets.charge("wait", 5)
+        buckets.charge("useful", 2)
+        assert buckets.get("useful") == 12
+        assert buckets.total == 17
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(ValueError):
+            TimeBuckets().charge("useful", -1)
+
+    def test_fractions_sum_to_one(self):
+        buckets = TimeBuckets()
+        buckets.charge("a", 30)
+        buckets.charge("b", 70)
+        fractions = buckets.fractions()
+        assert fractions["a"] == pytest.approx(0.3)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert TimeBuckets().fractions() == {}
+
+    def test_as_dict_is_a_copy(self):
+        buckets = TimeBuckets()
+        buckets.charge("a", 1)
+        snapshot = buckets.as_dict()
+        snapshot["a"] = 99
+        assert buckets.get("a") == 1
+
+    def test_unknown_bucket_reads_zero(self):
+        assert TimeBuckets().get("nope") == 0
+
+
+class TestStatsRegistry:
+    def test_counter_is_memoized(self):
+        registry = StatsRegistry()
+        registry.counter("x").add(3)
+        assert registry.counter("x").value == 3
+
+    def test_buckets_are_memoized(self):
+        registry = StatsRegistry()
+        registry.buckets("core0").charge("useful", 7)
+        assert registry.buckets("core0").get("useful") == 7
+
+    def test_snapshot_flattens_everything(self):
+        registry = StatsRegistry()
+        registry.counter("arcs").add(2)
+        registry.buckets("core0").charge("useful", 5)
+        snapshot = registry.snapshot()
+        assert snapshot["arcs"] == 2
+        assert snapshot["core0"] == {"useful": 5}
+
+    def test_counters_iterates_sorted(self):
+        registry = StatsRegistry()
+        registry.counter("b").add(1)
+        registry.counter("a").add(2)
+        assert [name for name, _ in registry.counters()] == ["a", "b"]

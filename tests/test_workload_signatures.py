@@ -1,0 +1,101 @@
+"""Signature tests: each benchmark kernel must exhibit the monitoring
+characteristics DESIGN.md claims it stands in for — these are what make
+the Figure 6/7/8 shapes meaningful."""
+
+import pytest
+
+from repro import (
+    AddrCheck,
+    SimulationConfig,
+    TaintCheck,
+    build_workload,
+    run_parallel_monitoring,
+)
+
+THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One parallel TaintCheck run per benchmark (shared by the tests)."""
+    results = {}
+    for bench in ("barnes", "lu", "ocean", "blackscholes", "fluidanimate",
+                  "swaptions", "fmm", "radiosity"):
+        results[bench] = run_parallel_monitoring(
+            build_workload(bench, THREADS), TaintCheck,
+            SimulationConfig.for_threads(THREADS))
+    return results
+
+
+def arcs_per_kilo_instruction(result):
+    return 1000 * result.stats["arcs_recorded"] / result.instructions
+
+
+class TestSharingSignatures:
+    def test_blackscholes_shares_nothing_but_its_barriers(self, runs):
+        """Data-parallel: all of blackscholes' dependence arcs come from
+        the start/end barriers and syscall CAs, never from option data —
+        so its arc count stays flat however many options it prices."""
+        two = run_parallel_monitoring(
+            build_workload("blackscholes", 2), TaintCheck,
+            SimulationConfig.for_threads(2))
+        assert two.stats["arcs_recorded"] < 100
+
+    def test_matrix_kernels_share_via_data(self, runs):
+        """lu/ocean genuinely exchange data (pivot rows, boundary rows),
+        so they record more arcs than the data-parallel blackscholes."""
+        blackscholes = runs["blackscholes"].stats["arcs_recorded"]
+        for bench in ("lu", "ocean"):
+            assert runs[bench].stats["arcs_recorded"] > blackscholes, bench
+
+    def test_swaptions_dominates_conflict_alert_traffic(self, runs):
+        swaptions_cas = runs["swaptions"].stats["ca_broadcasts"]
+        for bench, result in runs.items():
+            if bench != "swaptions":
+                assert result.stats["ca_broadcasts"] < swaptions_cas
+
+    def test_swaptions_allocates_hundreds_of_blocks(self, runs):
+        allocations = runs["swaptions"].stats["allocations"]
+        assert allocations["count"] == allocations["frees"]
+        assert allocations["count"] >= 20
+
+    def test_non_allocating_kernels_do_not_malloc(self, runs):
+        for bench in ("lu", "ocean", "barnes", "blackscholes"):
+            assert runs[bench].stats["allocations"]["count"] == 0
+
+
+class TestAccelerationSignatures:
+    def test_it_absorbs_most_events_on_compute_kernels(self, runs):
+        """The accelerators only pay off if most records never reach the
+        lifeguard — the paper's core premise. (fluidanimate is exempt at
+        tiny scale: its per-cell locking dominates its tiny compute.)"""
+        for bench in ("barnes", "lu", "ocean", "blackscholes", "swaptions",
+                      "fmm", "radiosity"):
+            stats = runs[bench].stats
+            assert stats["it_absorbed"] > stats["events_delivered"], bench
+
+    def test_barnes_has_the_densest_delivered_work(self, runs):
+        """Pointer chasing defeats inheritance tracking more than the
+        matrix kernels: barnes delivers more events per record."""
+        def delivery_rate(result):
+            return (result.stats["events_delivered"]
+                    / result.stats["records_processed"])
+        assert delivery_rate(runs["barnes"]) > delivery_rate(runs["lu"])
+        assert delivery_rate(runs["barnes"]) > delivery_rate(runs["ocean"])
+
+
+class TestAddrCheckSignatures:
+    def test_heap_free_kernels_are_free_for_addrcheck(self):
+        """AddrCheck only works on heap accesses: the global-memory
+        kernels deliver (almost) nothing to it."""
+        result = run_parallel_monitoring(
+            build_workload("lu", 2), AddrCheck,
+            SimulationConfig.for_threads(2))
+        assert result.stats["events_delivered"] <= 2  # just thread exits
+
+    def test_swaptions_exercises_addrcheck(self):
+        result = run_parallel_monitoring(
+            build_workload("swaptions", 2), AddrCheck,
+            SimulationConfig.for_threads(2))
+        assert result.stats["events_delivered"] > 100
+        assert result.stats["if_hits"] > 0  # the Idempotent Filter works
