@@ -35,8 +35,11 @@ from repro.common.errors import (
     DeadlockError,
     ReproError,
     SimulationError,
+    SimulationTimeout,
     WorkloadError,
 )
+from repro.cpu.engine import Watchdog
+from repro.faults import Fault, FaultPlan
 from repro.lifeguards import (
     AddrCheck,
     LIFEGUARDS,
@@ -49,9 +52,11 @@ from repro.lifeguards import (
 from repro.platform import (
     AcceleratorConfig,
     RunResult,
+    crash_report,
     run_no_monitoring,
     run_parallel_monitoring,
     run_timesliced_monitoring,
+    write_crash_report,
 )
 from repro.workloads import PAPER_BENCHMARKS, WORKLOADS, Workload, build_workload
 
@@ -64,6 +69,8 @@ __all__ = [
     "CaptureMode",
     "ConfigurationError",
     "DeadlockError",
+    "Fault",
+    "FaultPlan",
     "LIFEGUARDS",
     "Lifeguard",
     "LifeguardCostConfig",
@@ -77,13 +84,17 @@ __all__ = [
     "ScalePreset",
     "SimulationConfig",
     "SimulationError",
+    "SimulationTimeout",
     "TaintCheck",
     "Violation",
     "WORKLOADS",
+    "Watchdog",
     "Workload",
     "WorkloadError",
     "build_workload",
+    "crash_report",
     "run_no_monitoring",
     "run_parallel_monitoring",
     "run_timesliced_monitoring",
+    "write_crash_report",
 ]

@@ -21,10 +21,16 @@ from repro.cpu.engine import Condition, Engine
 class LogBuffer:
     """Bounded FIFO of event records with byte-occupancy accounting."""
 
-    def __init__(self, engine: Engine, config: LogBufferConfig, name: str):
+    def __init__(self, engine: Engine, config: LogBufferConfig, name: str,
+                 faults=None):
         self.engine = engine
         self.capacity_bytes = config.size_bytes
         self.name = name
+        #: Optional :class:`~repro.faults.FaultPlan` armed at the
+        #: ``log_append`` site (forced overflow / record loss).
+        self.faults = faults
+        #: Records silently lost to an injected ``log_append:drop`` fault.
+        self.records_lost = 0
         self._queue = deque()
         self._occupied_bytes = 0
         self._encoder = None
@@ -45,6 +51,16 @@ class LogBuffer:
 
     def try_append(self, record: Record) -> bool:
         """Append if it fits; returns False (and changes nothing) if full."""
+        if self.faults is not None:
+            fault = self.faults.fire(
+                "log_append", tid=record.tid, name=self.name,
+                context=f"{self.name} <- t{record.tid}#{record.rid}")
+            if fault is not None:
+                if fault.action == "overflow":
+                    return False  # pretend the buffer is full
+                # "drop": accept the record but lose it — trace loss.
+                self.records_lost += 1
+                return True
         if self._encoder is not None:
             # Encode tentatively: a failed append must not advance the
             # encoder's delta context or its statistics.

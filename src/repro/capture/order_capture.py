@@ -40,10 +40,13 @@ class OrderCapture:
 
     def __init__(self, tid: int, config: SimulationConfig, log: LogBuffer,
                  core_to_tid: Dict[int, int], current_rids: Dict[int, int],
-                 trace: Optional[list] = None):
+                 trace: Optional[list] = None, faults=None):
         self.tid = tid
         self.config = config
         self.log = log
+        #: Optional :class:`~repro.faults.FaultPlan` armed at the ``arc``
+        #: site; None (the default) leaves capture completely untouched.
+        self.faults = faults
         #: Maps a physical core id to the application tid pinned on it,
         #: used to translate coherence conflicts into thread-level arcs.
         self.core_to_tid = core_to_tid
@@ -77,6 +80,16 @@ class OrderCapture:
                 src_rid = conflict.rid
             else:
                 src_rid = self.current_rids.get(src_tid, 0)
+            if self.faults is not None:
+                fault = self.faults.fire(
+                    "arc", tid=self.tid,
+                    context=f"arc (t{src_tid},#{src_rid}) -> t{self.tid}")
+                if fault is not None:
+                    if fault.action == "drop":
+                        continue
+                    # "corrupt": skew the source RID forward so the
+                    # consumer waits on a record that may never exist.
+                    src_rid += max(1, fault.param)
             if self.config.transitive_reduction:
                 if self._last_recv.get(src_tid, -1) >= src_rid:
                     self.arcs_reduced += 1

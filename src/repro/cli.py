@@ -9,6 +9,11 @@ Commands:
 * ``headline`` — the abstract's three claims.
 * ``swaptions`` — the Section 7 swaptions analysis.
 * ``list`` — available workloads and lifeguards.
+
+``run`` exit codes: 0 success, 3 diagnosed deadlock/livelock
+(:class:`~repro.common.errors.DeadlockError`; pass ``--crash-report`` to
+dump the wait-for-graph diagnostics as JSON), 4 cycle budget exceeded
+(:class:`~repro.common.errors.SimulationTimeout`).
 """
 
 from __future__ import annotations
@@ -18,6 +23,10 @@ import sys
 
 from repro.common.config import CaptureMode, MemoryModel, ScalePreset, \
     SimulationConfig
+from repro.common.errors import ConfigurationError, SimulationError, \
+    SimulationTimeout
+from repro.cpu.engine import Watchdog
+from repro.faults import FaultPlan, parse_fault_spec
 from repro.eval import (
     figure6,
     figure7,
@@ -39,6 +48,7 @@ from repro.platform import (
     run_no_monitoring,
     run_parallel_monitoring,
     run_timesliced_monitoring,
+    write_crash_report,
 )
 from repro.workloads import PAPER_BENCHMARKS, WORKLOADS, build_workload
 
@@ -89,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
                             default="per_block")
     run_parser.add_argument("--no-accel", action="store_true",
                             help="disable IT/IF/M-TLB")
+    run_parser.add_argument("--max-cycles", type=int, default=None,
+                            help="abort with exit code 4 past this "
+                                 "simulated cycle budget")
+    run_parser.add_argument("--watchdog", type=int, default=None,
+                            metavar="WINDOW",
+                            help="enable the livelock watchdog with this "
+                                 "cycle window")
+    run_parser.add_argument("--inject", action="append", default=[],
+                            metavar="SITE:ACTION[:MOD...]",
+                            help="inject a fault (repeatable), e.g. "
+                                 "ca_mark:drop:t1 or lifeguard:kill:t0")
+    run_parser.add_argument("--fault-seed", type=int, default=0,
+                            help="seed for probabilistic fault decisions")
+    run_parser.add_argument("--crash-report", metavar="PATH", default=None,
+                            help="on deadlock/livelock/timeout, write the "
+                                 "JSON diagnostics here")
 
     for name in ("figure6", "figure7"):
         _add_sweep(sub.add_parser(name, help=f"regenerate {name}"))
@@ -122,15 +148,43 @@ def _cmd_run(args) -> int:
     scale = ScalePreset(args.scale)
     workload = build_workload(args.workload, args.threads, scale, args.seed)
     lifeguard = LIFEGUARDS[args.lifeguard]
-    if args.scheme == "none":
-        result = run_no_monitoring(workload, config)
-    elif args.scheme == "timesliced":
-        result = run_timesliced_monitoring(workload, lifeguard, config)
-    else:
-        accel = (AcceleratorConfig.all_off() if args.no_accel
-                 else AcceleratorConfig.all_on())
-        result = run_parallel_monitoring(workload, lifeguard, config,
-                                         accel=accel)
+    fault_plan = None
+    if args.inject:
+        try:
+            fault_plan = FaultPlan(
+                faults=tuple(parse_fault_spec(spec) for spec in args.inject),
+                seed=args.fault_seed)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    watchdog = Watchdog(args.watchdog) if args.watchdog else None
+    try:
+        if args.scheme == "none":
+            if fault_plan is not None:
+                print("note: --inject has no effect with --scheme none "
+                      "(no monitoring pipeline to fault)", file=sys.stderr)
+            result = run_no_monitoring(workload, config, watchdog=watchdog,
+                                       max_cycles=args.max_cycles)
+        elif args.scheme == "timesliced":
+            result = run_timesliced_monitoring(
+                workload, lifeguard, config, fault_plan=fault_plan,
+                watchdog=watchdog, max_cycles=args.max_cycles)
+        else:
+            accel = (AcceleratorConfig.all_off() if args.no_accel
+                     else AcceleratorConfig.all_on())
+            result = run_parallel_monitoring(
+                workload, lifeguard, config, accel=accel,
+                fault_plan=fault_plan, watchdog=watchdog,
+                max_cycles=args.max_cycles)
+    except SimulationError as exc:
+        # DeadlockError and SimulationTimeout both derive from
+        # SimulationError; so do the integrity checks (lost CA
+        # broadcast, un-drained log) that fault injection can trip.
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        if args.crash_report:
+            path = write_crash_report(exc, args.crash_report)
+            print(f"crash report written to {path}", file=sys.stderr)
+        return 4 if isinstance(exc, SimulationTimeout) else 3
     print(result.summary())
     breakdown = result.lifeguard_breakdown()
     if breakdown:

@@ -187,6 +187,7 @@ class AppCore(CoreActor):
                 return stall
             latency = self._execute()
             self.instructions_retired += 1
+            self.engine.note_retire()
             self._phase = _COMMIT
             return ("delay", latency, "execute")
 
@@ -504,6 +505,7 @@ class TimeslicedAppCore(CoreActor):
         if self._phase == _EXECUTE:
             latency = self._execute(self._current)
             self.instructions_retired += 1
+            self.engine.note_retire()
             self._slice_used += 1
             self._phase = _COMMIT
             return ("delay", latency, "execute")

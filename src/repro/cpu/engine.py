@@ -16,25 +16,61 @@ changes.
 
 Determinism: the heap breaks ties by insertion sequence number, so two
 runs of the same configuration produce identical schedules.
+
+Failure diagnosis: a drained heap with blocked actors is a classic
+deadlock; an optional :class:`Watchdog` additionally detects *livelock*
+(events keep firing but no actor retires a record for a whole cycle
+window). Both paths build a wait-for graph over actors and
+:class:`Condition` objects, run cycle detection, and raise an enriched
+:class:`~repro.common.errors.DeadlockError` that platforms can extend
+with progress-table and log-buffer snapshots.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import DeadlockError, SimulationError
+from repro.common.errors import DeadlockError, SimulationError, SimulationTimeout
 from repro.common.stats import TimeBuckets
+
+
+class Watchdog:
+    """Livelock detector configuration for :meth:`Engine.run`.
+
+    ``window`` is the number of simulated cycles the engine will tolerate
+    without any actor calling :meth:`Engine.note_retire` while unfinished
+    actors remain. A window of 0 disables the check (equivalent to not
+    attaching a watchdog). Spin-polling consumers keep the event heap
+    non-empty forever, so heap-drain deadlock detection alone cannot see
+    this failure mode — the watchdog can.
+    """
+
+    def __init__(self, window: int = 100_000):
+        if window < 0:
+            raise SimulationError("watchdog window must be >= 0")
+        self.window = window
+
+    def __repr__(self):
+        return f"Watchdog(window={self.window})"
 
 
 class Engine:
     """Time heap + actor lifecycle tracking."""
 
-    def __init__(self):
+    def __init__(self, watchdog: Optional[Watchdog] = None):
         self.now = 0
         self._heap: List = []
         self._seq = 0
         self._actors: List["CoreActor"] = []
+        #: Optional livelock detector; may also be attached after init.
+        self.watchdog = watchdog
+        #: Simulated time of the last :meth:`note_retire` call.
+        self.last_retire = 0
+        #: Optional platform callback returning extra diagnostic fields
+        #: (``last_retired`` / ``progress`` / ``log_occupancy`` /
+        #: ``injected``) merged into a raised :class:`DeadlockError`.
+        self.diagnostics_provider: Optional[Callable[[], dict]] = None
 
     def register(self, actor: "CoreActor") -> None:
         self._actors.append(actor)
@@ -45,41 +81,154 @@ class Engine:
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
         self._seq += 1
 
+    def note_retire(self) -> None:
+        """Actors call this when they retire an instruction or record.
+
+        The watchdog considers the simulation live as long as *some*
+        actor retires within its window; conditions waking and re-waiting
+        (spurious wake-ups, spin polls) deliberately do not count.
+        """
+        self.last_retire = self.now
+
     def run(self, max_cycles: Optional[int] = None) -> int:
         """Run until all actors finish; returns the final time.
 
         Raises :class:`DeadlockError` if the event heap drains while
         actors are still blocked — in this codebase that always means an
-        ordering mechanism (arcs, CA barriers, versioning) is broken.
+        ordering mechanism (arcs, CA barriers, versioning) is broken —
+        or, with a :class:`Watchdog` attached, when no actor retires for
+        a whole watchdog window. Raises :class:`SimulationTimeout` when
+        ``max_cycles`` is exceeded; the event that tripped the budget
+        stays on the heap and its time is committed to :attr:`now`.
         """
+        watchdog = self.watchdog
         while self._heap:
-            time, _, callback = heapq.heappop(self._heap)
+            time = self._heap[0][0]
             if max_cycles is not None and time > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded max_cycles={max_cycles}"
+                self.now = time
+                raise SimulationTimeout(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"at cycle {time} with {len(self._heap)} pending events",
+                    cycle=time, pending_events=len(self._heap),
                 )
+            _, _, callback = heapq.heappop(self._heap)
             self.now = time
             callback()
+            if (watchdog is not None and watchdog.window
+                    and time - self.last_retire > watchdog.window
+                    and any(not a.finished for a in self._actors)):
+                raise self._diagnose(
+                    f"livelock: no actor retired anything for "
+                    f"{time - self.last_retire} cycles (window="
+                    f"{watchdog.window}) while events kept firing",
+                    kind="livelock",
+                )
         blocked = [a for a in self._actors if not a.finished]
         if blocked:
-            raise DeadlockError(
-                "simulation deadlocked with blocked actors",
-                waiting={a.name: a.wait_reason or "unknown" for a in blocked},
-            )
+            raise self._diagnose(
+                "simulation deadlocked with blocked actors", kind="deadlock")
         return self.now
+
+    # -- failure diagnosis --------------------------------------------------
+
+    def wait_for_graph(self) -> Dict[str, List[str]]:
+        """Build the wait-for graph over actors and conditions.
+
+        Edges: a blocked actor points at the condition it waits on; a
+        condition points at the actors registered as its *owners* (the
+        parties responsible for eventually notifying it, wired by the
+        platform). A cycle through these edges is a circular wait.
+        """
+        graph: Dict[str, List[str]] = {}
+        for actor in self._actors:
+            condition = actor.wait_condition
+            if actor.finished or condition is None:
+                continue
+            node = f"cond:{condition.name}"
+            graph.setdefault(f"actor:{actor.name}", []).append(node)
+            owners = graph.setdefault(node, [])
+            for owner in condition.owners:
+                name = f"actor:{getattr(owner, 'name', owner)}"
+                if name not in owners:
+                    owners.append(name)
+        return graph
+
+    def _diagnose(self, message: str, kind: str) -> DeadlockError:
+        graph = self.wait_for_graph()
+        busy = "not waiting (busy)" if kind == "livelock" else "unknown"
+        waiting = {a.name: a.wait_reason or busy
+                   for a in self._actors if not a.finished}
+        extra = {}
+        if self.diagnostics_provider is not None:
+            extra = dict(self.diagnostics_provider() or {})
+        return DeadlockError(
+            message, waiting=waiting, kind=kind,
+            cycle=find_cycle(graph), graph=graph,
+            last_retired=extra.get("last_retired"),
+            progress=extra.get("progress"),
+            log_occupancy=extra.get("log_occupancy"),
+            injected=extra.get("injected"),
+        )
+
+
+def find_cycle(graph: Dict[str, List[str]]) -> Optional[List[str]]:
+    """Find one cycle in a directed graph; returns its node list or None.
+
+    Iterative DFS with colouring; the returned list starts and ends on
+    the same node (``[a, b, c, a]``) so it renders as a closed walk.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        path = [root]
+        colour[root] = GREY
+        while stack:
+            node, edge_index = stack[-1]
+            successors = graph.get(node, ())
+            if edge_index < len(successors):
+                stack[-1] = (node, edge_index + 1)
+                succ = successors[edge_index]
+                state = colour.get(succ, BLACK)
+                if state == GREY:
+                    return path[path.index(succ):] + [succ]
+                if state == WHITE:
+                    colour[succ] = GREY
+                    stack.append((succ, 0))
+                    path.append(succ)
+            else:
+                colour[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
 
 
 class Condition:
-    """A waitable, edge-triggered condition with named waiters."""
+    """A waitable, edge-triggered condition with named waiters.
 
-    __slots__ = ("name", "_waiters")
+    ``owners`` optionally lists the actors (or named components)
+    responsible for eventually notifying this condition; the engine's
+    wait-for-graph builder uses them as the condition's outgoing edges.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "_waiters", "owners")
+
+    def __init__(self, name: str, owners: Optional[list] = None):
         self.name = name
         self._waiters: List["CoreActor"] = []
+        self.owners: List = list(owners or [])
 
     def add_waiter(self, actor: "CoreActor") -> None:
         self._waiters.append(actor)
+
+    def remove_waiter(self, actor: "CoreActor") -> None:
+        """Drop one waiter if present (idempotent)."""
+        try:
+            self._waiters.remove(actor)
+        except ValueError:
+            pass
 
     def notify_all(self, engine: Engine) -> None:
         """Wake every waiter (they re-check their state and may re-wait)."""
@@ -107,6 +256,9 @@ class CoreActor:
         self.finished = False
         self.finish_time: Optional[int] = None
         self.wait_reason: Optional[str] = None
+        #: The condition this actor is currently parked on (None when
+        #: runnable); the watchdog's wait-for graph reads this.
+        self.wait_condition: Optional[Condition] = None
         self._wait_started: Optional[int] = None
         self._wait_bucket: Optional[str] = None
         engine.register(self)
@@ -125,6 +277,9 @@ class CoreActor:
     def wake(self) -> None:
         """Called (via the engine) when a waited-on condition fires."""
         if self.finished:
+            # A stale wake must not leave the dead actor parked in any
+            # waiter list, where it would swallow future notifications.
+            self._purge_wait()
             return
         if self._wait_started is not None:
             waited = self.engine.now - self._wait_started
@@ -132,7 +287,13 @@ class CoreActor:
             self._wait_started = None
             self._wait_bucket = None
             self.wait_reason = None
+        self.wait_condition = None
         self._run()
+
+    def _purge_wait(self) -> None:
+        if self.wait_condition is not None:
+            self.wait_condition.remove_waiter(self)
+            self.wait_condition = None
 
     def _run(self) -> None:
         while True:
@@ -150,9 +311,11 @@ class CoreActor:
                 self._wait_started = self.engine.now
                 self._wait_bucket = bucket
                 self.wait_reason = f"{reason} ({condition.name})"
+                self.wait_condition = condition
                 condition.add_waiter(self)
                 return
             elif kind == "done":
+                self._purge_wait()
                 self.finished = True
                 self.finish_time = self.engine.now
                 self.on_finish()

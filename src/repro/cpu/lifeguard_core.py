@@ -51,7 +51,7 @@ class LifeguardCore(CoreActor):
                  config: SimulationConfig, progress_table=None, ca_hub=None,
                  version_store=None, use_it: bool = True, use_if: bool = True,
                  use_mtlb: bool = True, enforce_arcs: Optional[bool] = None,
-                 delayed_advertising: bool = True):
+                 delayed_advertising: bool = True, faults=None):
         super().__init__(engine, name)
         self.core_id = core_id
         self.tid = tid  # None for the sequential (time-sliced) consumer
@@ -79,11 +79,18 @@ class LifeguardCore(CoreActor):
             enforce_arcs = lifeguard.needs_instruction_arcs
         self.enforce_arcs = enforce_arcs
 
+        #: Optional :class:`~repro.faults.FaultPlan` armed at the
+        #: ``lifeguard`` (stall/kill) and ``stall_flush`` (skip) sites.
+        self.faults = faults
+        self._killed = False
         self._phase = _FETCH
         self._rec: Optional[Record] = None
         self._processed: Dict[int, int] = {}
         self._stall_flushed = False
         self._ca_arrived = False
+        #: (tid, rid) of the most recently retired record, for crash
+        #: reports (None until the first record retires).
+        self.last_retired = None
         # Statistics
         self.records_processed = 0
         self.events_delivered = 0
@@ -127,6 +134,18 @@ class LifeguardCore(CoreActor):
             return ("delay", 0, "useful")
 
         if self._phase == _PROCESS:
+            if self.faults is not None:
+                fault = self.faults.fire(
+                    "lifeguard", tid=self.tid, name=self.name,
+                    context=f"{self.name} at t{self._rec.tid}#{self._rec.rid}")
+                if fault is not None:
+                    if fault.action == "kill":
+                        # The core dies mid-stream: no drain, no final
+                        # progress publish, no barrier arrivals — its
+                        # consumers and producers are on their own.
+                        self._killed = True
+                        return ("done",)
+                    return ("delay", max(1, fault.param or 10_000), "useful")
             record = self.log.pop()
             if record is not self._rec:
                 raise SimulationError(f"{self.name}: log head changed underfoot")
@@ -137,6 +156,8 @@ class LifeguardCore(CoreActor):
             self._stall_flushed = False
             self._processed[record.tid] = record.rid
             self.records_processed += 1
+            self.last_retired = (record.tid, record.rid)
+            self.engine.note_retire()
             cycles += self._publish(record.tid)
             self._phase = _FETCH
             return ("delay", max(cycles, 1), "useful")
@@ -302,6 +323,12 @@ class LifeguardCore(CoreActor):
         if self._stall_flushed:
             return 0
         self._stall_flushed = True
+        if self.faults is not None:
+            fault = self.faults.fire(
+                "stall_flush", tid=self.tid, name=self.name,
+                context=f"{self.name} stall flush")
+            if fault is not None:
+                return 0  # "skip": violate the deadlock-freedom rule
         cost = self._deliver_flushed(self.it.flush_rid_holding())
         if self.iff.track_rids:
             self.iff.invalidate_all()
@@ -367,4 +394,6 @@ class LifeguardCore(CoreActor):
             self.progress_table.publish(tid, rid)
 
     def on_finish(self) -> None:
+        if self._killed:
+            return  # a killed core advertises nothing post-mortem
         self._publish_accurate()

@@ -22,12 +22,15 @@ from repro.cpu.engine import Condition, Engine
 class ProgressTable:
     """Per-thread advertised progress counters with waiter wake-up."""
 
-    def __init__(self, engine: Engine, tids: Iterable[int]):
+    def __init__(self, engine: Engine, tids: Iterable[int], faults=None):
         self.engine = engine
         self._values: Dict[int, int] = {tid: 0 for tid in tids}
         self._conditions: Dict[int, Condition] = {
             tid: Condition(f"progress[t{tid}]") for tid in self._values
         }
+        #: Optional :class:`~repro.faults.FaultPlan` armed at ``progress``
+        #: (a suppressed publish models a lost counter update).
+        self.faults = faults
         # Statistics
         self.publishes = 0
 
@@ -37,6 +40,12 @@ class ProgressTable:
     def publish(self, tid: int, rid: int) -> None:
         """Advertise progress; monotone (stale publishes are ignored)."""
         if rid > self._values[tid]:
+            if self.faults is not None:
+                fault = self.faults.fire(
+                    "progress", tid=tid,
+                    context=f"publish progress[t{tid}]={rid}")
+                if fault is not None:
+                    return  # "suppress": the counter update is lost
             self._values[tid] = rid
             self.publishes += 1
             self._conditions[tid].notify_all(self.engine)

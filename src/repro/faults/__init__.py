@@ -1,0 +1,19 @@
+"""Fault injection and resilience tooling for the reproduction.
+
+See :mod:`repro.faults.plan` for the injection model. The package name
+is deliberately separate from :mod:`repro.capture` / :mod:`repro.cpu`:
+faults are a *test harness* for the enforcement layer, never part of
+the simulated machine itself, and a run without a plan must not change
+by a single cycle.
+"""
+
+from repro.faults.plan import (
+    FAULT_SITES,
+    Fault,
+    FaultPlan,
+    SITE_ACTIONS,
+    parse_fault_spec,
+)
+
+__all__ = ["FAULT_SITES", "Fault", "FaultPlan", "SITE_ACTIONS",
+           "parse_fault_spec"]

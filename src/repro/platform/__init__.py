@@ -12,7 +12,7 @@ Three execution schemes, mirroring Figure 6:
 """
 
 from repro.platform.monitor_config import AcceleratorConfig
-from repro.platform.results import RunResult
+from repro.platform.results import RunResult, crash_report, write_crash_report
 from repro.platform.baseline import run_no_monitoring
 from repro.platform.paralog import run_parallel_monitoring
 from repro.platform.timesliced import run_timesliced_monitoring
@@ -20,7 +20,9 @@ from repro.platform.timesliced import run_timesliced_monitoring
 __all__ = [
     "AcceleratorConfig",
     "RunResult",
+    "crash_report",
     "run_no_monitoring",
     "run_parallel_monitoring",
     "run_timesliced_monitoring",
+    "write_crash_report",
 ]

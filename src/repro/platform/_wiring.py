@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.common.config import SimulationConfig
-from repro.cpu.engine import Engine
+from repro.cpu.engine import Engine, Watchdog
 from repro.cpu.os_model import AddressLayout, OSRuntime
 from repro.isa.program import ThreadApi
 from repro.memory.coherence import CoherentMemorySystem
@@ -15,9 +15,10 @@ from repro.memory.mainmem import MainMemory
 class Machine:
     """One simulated machine instance (engine + memory + OS)."""
 
-    def __init__(self, config: SimulationConfig, num_cores: int):
+    def __init__(self, config: SimulationConfig, num_cores: int,
+                 watchdog: Watchdog = None):
         self.config = config
-        self.engine = Engine()
+        self.engine = Engine(watchdog=watchdog)
         self.memory = MainMemory()
         self.memsys = CoherentMemorySystem(config, num_cores)
         self.os = OSRuntime(self.memory, config)

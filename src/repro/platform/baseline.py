@@ -14,10 +14,15 @@ from repro.platform._wiring import Machine, build_thread_programs, collect_core_
 from repro.platform.results import RunResult
 
 
-def run_no_monitoring(workload, config: SimulationConfig = None) -> RunResult:
-    """Run a workload without any monitoring; the Figure 6 baseline."""
+def run_no_monitoring(workload, config: SimulationConfig = None,
+                      watchdog=None, max_cycles=None) -> RunResult:
+    """Run a workload without any monitoring; the Figure 6 baseline.
+
+    ``watchdog``/``max_cycles`` give the unmonitored run the same
+    bounded-time surface as the monitored schemes.
+    """
     config = config or SimulationConfig.for_threads(workload.nthreads)
-    machine = Machine(config, num_cores=workload.nthreads)
+    machine = Machine(config, num_cores=workload.nthreads, watchdog=watchdog)
     programs = build_thread_programs(workload, machine)
     hooks = MonitoringHooks()  # no CA, no containment, no progress table
 
@@ -44,7 +49,7 @@ def run_no_monitoring(workload, config: SimulationConfig = None) -> RunResult:
         cores.append(core)
         core.start()
 
-    machine.engine.run()
+    machine.engine.run(max_cycles=max_cycles)
     total = max(core.finish_time for core in cores)
     return RunResult(
         scheme="no_monitoring",

@@ -16,6 +16,7 @@ from repro.capture.log_buffer import LogBuffer
 from repro.capture.order_capture import OrderCapture
 from repro.capture.tso import TsoVersioner
 from repro.common.config import MemoryModel, SimulationConfig
+from repro.common.errors import SimulationError
 from repro.cpu.cores import (
     AppCore,
     MonitoringHooks,
@@ -44,19 +45,32 @@ def run_parallel_monitoring(
     accel: AcceleratorConfig = None,
     containment_kinds: Optional[FrozenSet] = None,
     keep_trace: bool = False,
+    fault_plan=None,
+    watchdog=None,
+    max_cycles: Optional[int] = None,
 ) -> RunResult:
     """Run a workload under ParaLog parallel monitoring.
 
     ``lifeguard_factory`` is called as ``factory(costs=..., heap_range=...)``
     — a lifeguard class works directly.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) arms deterministic
+    fault injection at the capture/enforce/lifeguard hook points; a plan
+    with no faults is equivalent to passing None (bit-for-bit identical
+    runs). ``watchdog`` enables the engine's livelock detector and
+    ``max_cycles`` bounds simulated time via
+    :class:`~repro.common.errors.SimulationTimeout`.
     """
     nthreads = workload.nthreads
     config = config or SimulationConfig.for_threads(nthreads)
     accel = accel or AcceleratorConfig.all_on()
     if containment_kinds is None:
         containment_kinds = DEFAULT_CONTAINMENT
+    # A disabled plan must leave every hot path untouched — hooks guard
+    # on `faults is not None`, so normalize "no faults" to None here.
+    faults = fault_plan if (fault_plan is not None and fault_plan.enabled) else None
 
-    machine = Machine(config, num_cores=2 * nthreads)
+    machine = Machine(config, num_cores=2 * nthreads, watchdog=watchdog)
     engine = machine.engine
     tids = list(range(nthreads))
 
@@ -66,8 +80,8 @@ def run_parallel_monitoring(
     range_table = SyscallRangeTable()
     lifeguard.range_table = range_table
 
-    progress = ProgressTable(engine, tids)
-    ca_hub = CAHub(engine)
+    progress = ProgressTable(engine, tids, faults=faults)
+    ca_hub = CAHub(engine, faults=faults)
     version_store = VersionStore(engine) if config.memory_model is MemoryModel.TSO else None
     versioner = (TsoVersioner(config.line_bytes)
                  if config.memory_model is MemoryModel.TSO else None)
@@ -96,9 +110,10 @@ def run_parallel_monitoring(
 
     logs, captures, app_cores, lifeguard_cores = [], [], [], []
     for tid in tids:
-        log = LogBuffer(engine, config.log_config, name=f"log{tid}")
+        log = LogBuffer(engine, config.log_config, name=f"log{tid}",
+                        faults=faults)
         capture = OrderCapture(tid, config, log, core_to_tid, current_rids,
-                               trace=trace)
+                               trace=trace, faults=faults)
         ca_hub.register(tid, capture)
         logs.append(log)
         captures.append(capture)
@@ -116,12 +131,14 @@ def run_parallel_monitoring(
             config=config, hooks=hooks, log=log, store_buffer=store_buffer,
         )
         app_cores.append(app_core)
+        drain_actor = None
         if store_buffer is not None:
-            StoreBufferDrainActor(
+            drain_actor = StoreBufferDrainActor(
                 engine, f"app{tid}.drain", core_id=tid, buffer=store_buffer,
                 capture=capture, memsys=machine.memsys, memory=machine.memory,
                 log=log, drain_delay=config.tso_drain_delay,
-            ).start()
+            )
+            drain_actor.start()
 
         lifeguard_core = LifeguardCore(
             engine, f"lifeguard{tid}", core_id=nthreads + tid, tid=tid,
@@ -129,15 +146,45 @@ def run_parallel_monitoring(
             progress_table=progress, ca_hub=ca_hub, version_store=version_store,
             use_it=accel.use_it, use_if=accel.use_if, use_mtlb=accel.use_mtlb,
             enforce_arcs=enforce_arcs, delayed_advertising=True,
+            faults=faults,
         )
         lifeguard_cores.append(lifeguard_core)
+        ca_hub.register_lifeguard_actor(tid, lifeguard_core)
+        # Label conditions with notifier actors so wait-for-graph
+        # diagnostics can walk blocked -> condition -> blocker edges.
+        log.not_full.owners = [lifeguard_core]
+        log.not_empty.owners = ([app_core] if drain_actor is None
+                                else [app_core, drain_actor])
+        progress.condition(tid).owners = [lifeguard_core]
+
+    def _diagnostics():
+        """Extra crash-report context gathered at diagnosis time."""
+        extras = {
+            "last_retired": {
+                c.name: c.last_retired for c in lifeguard_cores},
+            "progress": progress.snapshot(),
+            "log_occupancy": {
+                log.name: {"records": len(log), "bytes": log.occupied_bytes,
+                           "closed": log.closed}
+                for log in logs},
+        }
+        if faults is not None:
+            extras["injected"] = faults.describe_injected()
+        return extras
+
+    engine.diagnostics_provider = _diagnostics
 
     for core in app_cores:
         core.start()
     for core in lifeguard_cores:
         core.start()
 
-    engine.run()
+    engine.run(max_cycles=max_cycles)
+    for log in logs:
+        if not log.drained:
+            raise SimulationError(
+                f"{log.name}: {len(log)} records left unprocessed after "
+                f"completion — the consuming lifeguard died mid-stream")
     total = max(core.finish_time for core in app_cores + lifeguard_cores)
 
     stats = collect_core_stats(
@@ -149,6 +196,9 @@ def run_parallel_monitoring(
         stats["versions_consumed"] = version_store.consumed
     stats["progress_publishes"] = progress.publishes
     stats["syscall_races_flagged"] = range_table.races_flagged
+    if faults is not None:
+        stats["faults_injected"] = faults.describe_injected()
+        stats["log_records_lost"] = sum(log.records_lost for log in logs)
 
     return RunResult(
         scheme="parallel",

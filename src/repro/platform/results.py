@@ -1,9 +1,15 @@
-"""Run results: timing, breakdowns, reports, statistics."""
+"""Run results: timing, breakdowns, reports, statistics — and, when a
+run dies instead of finishing, machine-readable crash reports built from
+the enriched :class:`~repro.common.errors.DeadlockError` /
+:class:`~repro.common.errors.SimulationTimeout` diagnostics."""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.common.errors import DeadlockError, SimulationTimeout
 
 
 @dataclass
@@ -64,3 +70,43 @@ class RunResult:
         if self.violations:
             parts.append(f"violations={len(self.violations)}")
         return " ".join(parts)
+
+
+def crash_report(exc: Exception) -> Dict[str, object]:
+    """Flatten a simulation failure into a JSON-serializable report.
+
+    Understands the enriched :class:`DeadlockError` fields (wait-for
+    graph, cycle, per-core last-retired RIDs, progress snapshot, log
+    occupancies, injected faults) and :class:`SimulationTimeout`'s cycle
+    budget; any other exception degrades to type + message.
+    """
+    report: Dict[str, object] = {
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, DeadlockError):
+        report.update({
+            "kind": exc.kind,
+            "waiting": exc.waiting,
+            "wait_for_graph": exc.graph,
+            "cycle": exc.cycle,
+            "last_retired": {str(k): v for k, v in exc.last_retired.items()},
+            "progress": {str(k): v for k, v in exc.progress.items()},
+            "log_occupancy": exc.log_occupancy,
+            "injected_faults": exc.injected,
+        })
+    elif isinstance(exc, SimulationTimeout):
+        report.update({
+            "kind": "timeout",
+            "cycle": exc.cycle,
+            "pending_events": exc.pending_events,
+        })
+    return report
+
+
+def write_crash_report(exc: Exception, path: str) -> str:
+    """Serialize :func:`crash_report` to ``path`` as JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(crash_report(exc), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -16,6 +16,7 @@ from typing import Callable, FrozenSet, Optional
 from repro.capture.log_buffer import LogBuffer
 from repro.capture.order_capture import OrderCapture
 from repro.common.config import SimulationConfig
+from repro.common.errors import SimulationError
 from repro.cpu.cores import MonitoringHooks, TimeslicedAppCore
 from repro.cpu.lifeguard_core import LifeguardCore
 from repro.cpu.os_model import AddressLayout
@@ -36,15 +37,25 @@ def run_timesliced_monitoring(
     accel: AcceleratorConfig = None,
     containment_kinds: Optional[FrozenSet] = None,
     keep_trace: bool = False,
+    fault_plan=None,
+    watchdog=None,
+    max_cycles: Optional[int] = None,
 ) -> RunResult:
-    """Run a workload under the time-sliced monitoring baseline."""
+    """Run a workload under the time-sliced monitoring baseline.
+
+    ``fault_plan``/``watchdog``/``max_cycles`` mirror the parallel
+    scheme's robustness surface (arc and CA sites never fire here —
+    a single interleaved stream has neither).
+    """
     nthreads = workload.nthreads
     config = config or SimulationConfig.for_threads(nthreads)
     accel = accel or AcceleratorConfig.all_on()
     if containment_kinds is None:
         containment_kinds = DEFAULT_CONTAINMENT
+    faults = fault_plan if (fault_plan is not None and fault_plan.enabled) else None
 
-    machine = Machine(config, num_cores=2)  # one app core, one lifeguard core
+    # one app core, one lifeguard core
+    machine = Machine(config, num_cores=2, watchdog=watchdog)
     engine = machine.engine
     tids = list(range(nthreads))
 
@@ -53,7 +64,7 @@ def run_timesliced_monitoring(
     )
     range_table = SyscallRangeTable()
     lifeguard.range_table = range_table
-    progress = ProgressTable(engine, tids)
+    progress = ProgressTable(engine, tids, faults=faults)
 
     hooks = MonitoringHooks(
         ca_hub=None, ca_subscriptions=frozenset(),
@@ -61,7 +72,7 @@ def run_timesliced_monitoring(
     )
 
     trace = [] if keep_trace else None
-    log = LogBuffer(engine, config.log_config, name="log")
+    log = LogBuffer(engine, config.log_config, name="log", faults=faults)
     core_to_tid = {}  # single app core: no cross-thread coherence, no arcs
     current_rids = {}
     captures = {
@@ -82,12 +93,34 @@ def run_timesliced_monitoring(
         lifeguard=lifeguard, memsys=machine.memsys, config=config,
         progress_table=progress, ca_hub=None, version_store=None,
         use_it=accel.use_it, use_if=accel.use_if, use_mtlb=accel.use_mtlb,
-        enforce_arcs=False, delayed_advertising=False,
+        enforce_arcs=False, delayed_advertising=False, faults=faults,
     )
+    log.not_full.owners = [lifeguard_core]
+    log.not_empty.owners = [app_core]
+
+    def _diagnostics():
+        """Crash-report context for the single-stream baseline."""
+        extras = {
+            "last_retired": {lifeguard_core.name: lifeguard_core.last_retired},
+            "progress": progress.snapshot(),
+            "log_occupancy": {
+                log.name: {"records": len(log), "bytes": log.occupied_bytes,
+                           "closed": log.closed}},
+        }
+        if faults is not None:
+            extras["injected"] = faults.describe_injected()
+        return extras
+
+    engine.diagnostics_provider = _diagnostics
+
     app_core.start()
     lifeguard_core.start()
 
-    engine.run()
+    engine.run(max_cycles=max_cycles)
+    if not log.drained:
+        raise SimulationError(
+            f"{log.name}: {len(log)} records left unprocessed after "
+            f"completion — the consuming lifeguard died mid-stream")
     total = max(app_core.finish_time, lifeguard_core.finish_time)
 
     stats = collect_core_stats(
@@ -96,6 +129,9 @@ def run_timesliced_monitoring(
     )
     stats["context_switches"] = app_core.context_switches
     stats["syscall_races_flagged"] = range_table.races_flagged
+    if faults is not None:
+        stats["faults_injected"] = faults.describe_injected()
+        stats["log_records_lost"] = log.records_lost
 
     return RunResult(
         scheme="timesliced",

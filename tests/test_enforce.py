@@ -168,14 +168,39 @@ class TestCAHub:
         assert state.complete
         assert hub.pending_barriers() == 0
 
-    def test_exited_threads_are_not_participants(self):
+    def test_exited_threads_get_no_mark_but_still_gate_the_barrier(self):
+        # A thread whose *application* side exited receives no CA_MARK,
+        # but its lifeguard may still be draining records that are
+        # coherence-ordered before the broadcast — so it stays a
+        # participant until the lifeguard exits (which grants arrival).
         _, hub, _ = make_hub()
         hub.thread_exited(2)
         ca_id = hub.broadcast(0, HLEventKind.FREE, RecordKind.HL_BEGIN, ())
-        assert hub.state(ca_id).participants == {1}
+        state = hub.state(ca_id)
+        assert state.participants == {1, 2}
+        assert state.marks_sent == {1}
+        assert hub.marks_inserted == 1
+        hub.lifeguard_arrive(ca_id, 1)
+        assert not state.all_arrived
+        hub.lifeguard_exited(2)
+        assert state.all_arrived
+
+    def test_lost_mark_is_diagnosed_at_lifeguard_exit(self):
+        # A mark that was sent but never arrived at by the time the
+        # victim's lifeguard exits means the broadcast was lost — the
+        # hub must raise rather than silently dissolve the barrier.
+        _, hub, _ = make_hub()
+        ca_id = hub.broadcast(0, HLEventKind.FREE, RecordKind.HL_BEGIN, ())
+        assert 2 in hub.state(ca_id).marks_sent
+        with pytest.raises(SimulationError, match="CA#.*lost"):
+            hub.lifeguard_exited(2)
 
     def test_lifeguard_exited_counts_as_arrival(self):
+        # Exit grants arrival only for markless participants (the mark
+        # was never sent because the app side exited first); a sent mark
+        # must actually be reached — see the lost-mark test above.
         _, hub, _ = make_hub()
+        hub.thread_exited(2)
         ca_id = hub.broadcast(0, HLEventKind.FREE, RecordKind.HL_BEGIN, ())
         hub.lifeguard_arrive(ca_id, 1)
         hub.lifeguard_exited(2)

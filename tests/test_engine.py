@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.common.errors import DeadlockError, SimulationError
-from repro.cpu.engine import Condition, CoreActor, Engine
+from repro.common.errors import DeadlockError, SimulationError, \
+    SimulationTimeout
+from repro.cpu.engine import Condition, CoreActor, Engine, Watchdog, \
+    find_cycle
 
 
 class ScriptedActor(CoreActor):
@@ -57,6 +59,21 @@ class TestEngine:
         Forever(engine, "f").start()
         with pytest.raises(SimulationError):
             engine.run(max_cycles=100)
+
+    def test_max_cycles_raises_dedicated_timeout_with_state(self):
+        engine = Engine()
+        class Forever(CoreActor):
+            def step(self):
+                return ("delay", 10, "x")
+        Forever(engine, "f").start()
+        with pytest.raises(SimulationTimeout) as exc:
+            engine.run(max_cycles=100)
+        # The tripping event's time is committed and the event is NOT
+        # discarded: the timeout is observable, not state-corrupting.
+        assert exc.value.cycle == 110
+        assert engine.now == 110
+        assert exc.value.pending_events == 1
+        assert len(engine._heap) == 1
 
     def test_unknown_action_raises(self):
         engine = Engine()
@@ -155,3 +172,115 @@ class TestConditions:
         actor.start()
         engine.run()
         assert actor.finish_time == 7
+
+    def test_heap_drain_deadlock_reports_every_blocked_actor(self):
+        engine = Engine()
+        c1, c2 = Condition("one"), Condition("two")
+        ScriptedActor(engine, "a", [("wait", c1, "b", "needs one")]).start()
+        ScriptedActor(engine, "b", [("wait", c2, "b", "needs two")]).start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        assert set(exc.value.waiting) == {"a", "b"}
+        assert "needs one" in exc.value.waiting["a"]
+        assert "needs two" in exc.value.waiting["b"]
+
+    def test_wake_on_finished_actor_purges_waiter_list(self):
+        engine = Engine()
+        condition = Condition("c")
+
+        class OneWait(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "w")
+                self.woken = False
+            def step(self):
+                if self.woken:
+                    return ("done",)
+                self.woken = True
+                return ("wait", condition, "b", "once")
+
+        actor = OneWait(engine)
+        actor.start()
+        engine.schedule(1, lambda: condition.notify_all(engine))
+        engine.run()
+        assert actor.finished
+        # A stale wake on the finished actor must not crash and must
+        # leave it parked in no waiter list.
+        condition.add_waiter(actor)
+        actor.wait_condition = condition
+        actor.wake()
+        assert condition.waiter_count == 0
+        assert actor.wait_condition is None
+
+
+class TestWatchdogAndDiagnostics:
+    """Livelock detection and wait-for-graph deadlock diagnosis."""
+
+    def test_watchdog_catches_two_actor_spin_livelock(self):
+        # Two actors poll each other's state forever: the heap never
+        # drains, so classic deadlock detection is blind — only the
+        # watchdog (no note_retire within the window) can see it.
+        engine = Engine(watchdog=Watchdog(window=500))
+
+        class Spinner(CoreActor):
+            def step(self):
+                return ("delay", 10, "spin")
+
+        Spinner(engine, "s1").start()
+        Spinner(engine, "s2").start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(max_cycles=1_000_000)
+        assert exc.value.kind == "livelock"
+        assert set(exc.value.waiting) == {"s1", "s2"}
+        assert "busy" in exc.value.waiting["s1"]
+
+    def test_note_retire_keeps_watchdog_quiet(self):
+        engine = Engine(watchdog=Watchdog(window=50))
+
+        class Worker(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "w")
+                self.left = 20
+            def step(self):
+                if not self.left:
+                    return ("done",)
+                self.left -= 1
+                self.engine.note_retire()
+                return ("delay", 40, "useful")
+
+        Worker(engine).start()
+        assert engine.run() == 800  # no spurious livelock
+
+    def test_wait_for_graph_and_cycle_detection(self):
+        engine = Engine()
+        c1, c2 = Condition("one"), Condition("two")
+        a = ScriptedActor(engine, "a", [("wait", c1, "b", "needs one")])
+        b = ScriptedActor(engine, "b", [("wait", c2, "b", "needs two")])
+        c1.owners = [b]  # only b ever notifies c1, and vice versa
+        c2.owners = [a]
+        a.start()
+        b.start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        graph = exc.value.graph
+        assert graph["actor:a"] == ["cond:one"]
+        assert graph["cond:one"] == ["actor:b"]
+        cycle = exc.value.cycle
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert {"actor:a", "actor:b"} <= set(cycle)
+
+    def test_find_cycle_on_acyclic_graph(self):
+        assert find_cycle({"a": ["b"], "b": ["c"], "c": []}) is None
+        cycle = find_cycle({"a": ["b"], "b": ["a"]})
+        assert cycle[0] == cycle[-1] and set(cycle) == {"a", "b"}
+
+    def test_deadlock_error_str_renders_waiting_and_cycle(self):
+        engine = Engine()
+        condition = Condition("never", owners=[])
+        ScriptedActor(engine, "stuck",
+                      [("wait", condition, "b", "hopeless")]).start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        text = str(exc.value)
+        assert "waiting:" in text
+        assert "stuck" in text and "hopeless" in text
