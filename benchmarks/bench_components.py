@@ -79,7 +79,12 @@ def test_log_buffer_throughput(benchmark):
 
 
 def test_end_to_end_simulation_rate(benchmark):
-    """Simulated instructions per wall-clock second for a parallel run."""
+    """Simulated instructions per wall-clock second for a parallel run.
+
+    Tracing is disabled (``tracer=None``, the default): every emit site
+    reduces to one attribute check, so this number must stay within
+    noise of its pre-flight-recorder level. Compare against
+    ``test_end_to_end_simulation_rate_traced`` for the enabled cost."""
     from repro import SimulationConfig as Config, TaintCheck, \
         build_workload, run_parallel_monitoring
 
@@ -90,3 +95,39 @@ def test_end_to_end_simulation_rate(benchmark):
 
     result = benchmark(run)
     assert result.instructions > 0
+
+
+def test_end_to_end_simulation_rate_traced(benchmark):
+    """The same run with the flight recorder on (all categories, kept
+    in memory) — the A/B partner of test_end_to_end_simulation_rate."""
+    from repro import SimulationConfig as Config, TaintCheck, TraceWriter, \
+        build_workload, run_parallel_monitoring
+
+    def run():
+        tracer = TraceWriter(keep=True)
+        result = run_parallel_monitoring(
+            build_workload("racy_counters", 2), TaintCheck,
+            Config.for_threads(2), tracer=tracer)
+        tracer.close()
+        return result, tracer
+
+    result, tracer = benchmark(run)
+    assert result.instructions > 0
+    assert tracer.emitted > 0
+
+
+def test_trace_writer_emit_throughput(benchmark):
+    """Raw emit cost with a live category filter and a ring buffer —
+    the configuration a ``--crash-report`` run pays while healthy."""
+    from repro.trace import TraceWriter
+
+    writer = TraceWriter(categories=("arc", "engine"), ring=256)
+
+    def run():
+        for index in range(512):
+            writer.emit("arc", "publish", tid=index & 3, rid=index,
+                        src_tid=(index + 1) & 3, src_rid=index)
+            writer.emit("accel", "if_hit", owner="lifeguard0", rid=index)
+
+    benchmark(run)
+    assert writer.emitted > 0

@@ -58,6 +58,13 @@ from repro.platform import (
     run_timesliced_monitoring,
     write_crash_report,
 )
+from repro.trace import (
+    CATEGORIES as TRACE_CATEGORIES,
+    TraceWriter,
+    parse_trace_filter,
+    read_trace,
+    trace_hash,
+)
 from repro.workloads import PAPER_BENCHMARKS, WORKLOADS, Workload, build_workload
 
 __version__ = "1.0.0"
@@ -85,7 +92,9 @@ __all__ = [
     "SimulationConfig",
     "SimulationError",
     "SimulationTimeout",
+    "TRACE_CATEGORIES",
     "TaintCheck",
+    "TraceWriter",
     "Violation",
     "WORKLOADS",
     "Watchdog",
@@ -93,8 +102,11 @@ __all__ = [
     "WorkloadError",
     "build_workload",
     "crash_report",
+    "parse_trace_filter",
+    "read_trace",
     "run_no_monitoring",
     "run_parallel_monitoring",
     "run_timesliced_monitoring",
+    "trace_hash",
     "write_crash_report",
 ]

@@ -24,13 +24,17 @@ class IdempotentFilter:
     """A small FIFO cache of check-event keys."""
 
     def __init__(self, entries: int = 32, enabled: bool = True,
-                 track_rids: bool = False):
+                 track_rids: bool = False, tracer=None, owner: str = ""):
         if entries < 1:
             raise ValueError("IF needs at least one entry")
         self.capacity = entries
         self.enabled = enabled
         self.track_rids = track_rids
         self._cache: Dict[Hashable, int] = {}
+        #: Optional :class:`~repro.trace.TraceWriter` (``accel`` events);
+        #: ``owner`` names the lifeguard core this filter belongs to.
+        self.tracer = tracer
+        self.owner = owner
         # Statistics
         self.hits = 0
         self.misses = 0
@@ -46,12 +50,17 @@ class IdempotentFilter:
             return False
         if key in self._cache:
             self.hits += 1
+            if self.tracer is not None:
+                self.tracer.emit("accel", "if_hit", owner=self.owner,
+                                 rid=rid)
             return True
         self.misses += 1
         if len(self._cache) >= self.capacity:
             oldest = next(iter(self._cache))
             del self._cache[oldest]
         self._cache[key] = rid
+        if self.tracer is not None:
+            self.tracer.emit("accel", "if_miss", owner=self.owner, rid=rid)
         return False
 
     def invalidate_all(self) -> None:

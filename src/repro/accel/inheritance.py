@@ -72,9 +72,13 @@ class InheritanceTracking:
     of many application threads through one core.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, tracer=None, owner: str = ""):
         self.enabled = enabled
         self._rows: Dict[Tuple[int, int], _Row] = {}
+        #: Optional :class:`~repro.trace.TraceWriter` (``accel`` events);
+        #: ``owner`` names the lifeguard core this table belongs to.
+        self.tracer = tracer
+        self.owner = owner
         # Statistics
         self.absorbed_events = 0
         self.delivered_condensed = 0
@@ -87,7 +91,23 @@ class InheritanceTracking:
         """Feed one record through IT; returns the delivered events."""
         if not self.enabled:
             return self._passthrough(record)
+        tracer = self.tracer
+        if tracer is not None:
+            absorbed_mark = self.absorbed_events
+            condensed_mark = self.delivered_condensed
+            out = self._process_enabled(record)
+            # One trace event per record that was absorbed into (or
+            # condensed out of) the table, stamped with its identity.
+            if self.absorbed_events > absorbed_mark:
+                tracer.emit("accel", "it_absorb", owner=self.owner,
+                            tid=record.tid, rid=record.rid)
+            if self.delivered_condensed > condensed_mark:
+                tracer.emit("accel", "it_condense", owner=self.owner,
+                            tid=record.tid, rid=record.rid)
+            return out
+        return self._process_enabled(record)
 
+    def _process_enabled(self, record: Record) -> List[tuple]:
         kind = record.kind
         tid = record.tid
         out: List[tuple] = []

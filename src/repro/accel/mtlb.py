@@ -27,13 +27,17 @@ class MetadataTLB:
     """LRU cache of application-page -> metadata-page mappings."""
 
     def __init__(self, entries: int, costs: LifeguardCostConfig,
-                 enabled: bool = True):
+                 enabled: bool = True, tracer=None, owner: str = ""):
         if entries < 1:
             raise ValueError("M-TLB needs at least one entry")
         self.capacity = entries
         self.costs = costs
         self.enabled = enabled
         self._entries: Dict[int, bool] = {}
+        #: Optional :class:`~repro.trace.TraceWriter` (``accel`` events);
+        #: ``owner`` names the lifeguard core this TLB belongs to.
+        self.tracer = tracer
+        self.owner = owner
         # Statistics
         self.hits = 0
         self.misses = 0
@@ -48,12 +52,18 @@ class MetadataTLB:
             self.hits += 1
             del self._entries[page]
             self._entries[page] = True  # LRU refresh
+            if self.tracer is not None:
+                self.tracer.emit("accel", "mtlb_hit", owner=self.owner,
+                                 page=page)
             return self.costs.mtlb_hit_cost
         self.misses += 1
         if len(self._entries) >= self.capacity:
             victim = next(iter(self._entries))
             del self._entries[victim]
         self._entries[page] = True
+        if self.tracer is not None:
+            self.tracer.emit("accel", "mtlb_miss", owner=self.owner,
+                             page=page)
         return self.costs.metadata_addr_cost
 
     def flush(self) -> None:

@@ -74,7 +74,7 @@ class CAState:
 class CAHub:
     """Process-wide ConflictAlert coordinator."""
 
-    def __init__(self, engine: Engine, faults=None):
+    def __init__(self, engine: Engine, faults=None, tracer=None):
         self.engine = engine
         self._captures = {}  # tid -> OrderCapture
         self._active_tids: Set[int] = set()
@@ -84,6 +84,8 @@ class CAHub:
         self._next_id = 1
         #: Optional :class:`~repro.faults.FaultPlan` armed at ``ca_mark``.
         self.faults = faults
+        #: Optional :class:`~repro.trace.TraceWriter` (``ca`` events).
+        self.tracer = tracer
         # Statistics
         self.broadcasts = 0
         self.marks_inserted = 0
@@ -121,6 +123,10 @@ class CAHub:
         participants = self._lifeguard_tids - {issuer_tid}
         state = CAState(ca_id, participants)
         self._states[ca_id] = state
+        if self.tracer is not None:
+            self.tracer.emit("ca", "broadcast", ca=ca_id, issuer=issuer_tid,
+                             hl=hl_kind, phase=phase_kind,
+                             participants=sorted(participants))
         state.all_arrived_cond.owners = [
             self._lifeguard_actors[tid] for tid in sorted(participants)
             if tid in self._lifeguard_actors]
@@ -156,6 +162,9 @@ class CAHub:
             state.ca_id, hl_kind, phase_kind, ranges, issuer_tid)
         state.marks.append((tid, capture, mark))
         self.marks_inserted += 1
+        if self.tracer is not None:
+            self.tracer.emit("ca", "mark", ca=state.ca_id, tid=tid,
+                             rid=mark.rid)
 
     # -- lifeguard side -----------------------------------------------------------
 
@@ -165,6 +174,9 @@ class CAHub:
     def lifeguard_arrive(self, ca_id: int, tid: int) -> None:
         state = self._states[ca_id]
         state.arrived.add(tid)
+        if self.tracer is not None:
+            self.tracer.emit("ca", "arrive", ca=ca_id, tid=tid,
+                             all_arrived=state.all_arrived)
         if state.all_arrived:
             state.all_arrived_cond.notify_all(self.engine)
 
@@ -187,12 +199,17 @@ class CAHub:
                         f"exited without reaching its CA_MARK — the "
                         f"broadcast to t{tid} was lost or never committed")
                 state.arrived.add(tid)
+                if self.tracer is not None:
+                    self.tracer.emit("ca", "exit_grant", ca=state.ca_id,
+                                     tid=tid)
                 if state.all_arrived:
                     state.all_arrived_cond.notify_all(self.engine)
 
     def mark_complete(self, ca_id: int) -> None:
         state = self._states[ca_id]
         state.complete = True
+        if self.tracer is not None:
+            self.tracer.emit("ca", "complete", ca=ca_id)
         state.complete_cond.notify_all(self.engine)
 
     def pending_barriers(self) -> int:

@@ -40,13 +40,15 @@ class OrderCapture:
 
     def __init__(self, tid: int, config: SimulationConfig, log: LogBuffer,
                  core_to_tid: Dict[int, int], current_rids: Dict[int, int],
-                 trace: Optional[list] = None, faults=None):
+                 trace: Optional[list] = None, faults=None, tracer=None):
         self.tid = tid
         self.config = config
         self.log = log
         #: Optional :class:`~repro.faults.FaultPlan` armed at the ``arc``
         #: site; None (the default) leaves capture completely untouched.
         self.faults = faults
+        #: Optional :class:`~repro.trace.TraceWriter` (``arc`` events).
+        self.tracer = tracer
         #: Maps a physical core id to the application tid pinned on it,
         #: used to translate coherence conflicts into thread-level arcs.
         self.core_to_tid = core_to_tid
@@ -93,10 +95,18 @@ class OrderCapture:
             if self.config.transitive_reduction:
                 if self._last_recv.get(src_tid, -1) >= src_rid:
                     self.arcs_reduced += 1
+                    if self.tracer is not None:
+                        self.tracer.emit("arc", "reduced", tid=self.tid,
+                                         rid=record.rid, src_tid=src_tid,
+                                         src_rid=src_rid)
                     continue
                 self._last_recv[src_tid] = src_rid
             record.add_arc(src_tid, src_rid)
             self.arcs_recorded += 1
+            if self.tracer is not None:
+                self.tracer.emit("arc", "publish", tid=self.tid,
+                                 rid=record.rid, src_tid=src_tid,
+                                 src_rid=src_rid)
 
     # -- pending queue / commit --------------------------------------------------
 

@@ -50,6 +50,12 @@ from repro.platform import (
     run_timesliced_monitoring,
     write_crash_report,
 )
+from repro.trace import (
+    CATEGORIES,
+    DEFAULT_RING_EVENTS,
+    TraceWriter,
+    parse_trace_filter,
+)
 from repro.workloads import PAPER_BENCHMARKS, WORKLOADS, build_workload
 
 
@@ -114,7 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seed for probabilistic fault decisions")
     run_parser.add_argument("--crash-report", metavar="PATH", default=None,
                             help="on deadlock/livelock/timeout, write the "
-                                 "JSON diagnostics here")
+                                 "JSON diagnostics here (includes the "
+                                 "last-N flight-recorder events)")
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="stream flight-recorder events to PATH "
+                                 "as JSONL ('-' for stdout); safe to "
+                                 "tail -f while the run is live")
+    run_parser.add_argument("--trace-filter", metavar="CATS", default="all",
+                            help="comma-separated event categories "
+                                 f"({','.join(CATEGORIES)}; default all)")
+    run_parser.add_argument("--trace-ring", type=int, metavar="N",
+                            default=DEFAULT_RING_EVENTS,
+                            help="events kept for the crash-report ring "
+                                 f"buffer (default {DEFAULT_RING_EVENTS})")
 
     for name in ("figure6", "figure7"):
         _add_sweep(sub.add_parser(name, help=f"regenerate {name}"))
@@ -158,33 +176,56 @@ def _cmd_run(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     watchdog = Watchdog(args.watchdog) if args.watchdog else None
+    tracer = None
+    if args.trace or args.crash_report:
+        # --crash-report alone arms a silent ring buffer so a failing
+        # run's report still carries its last-N flight-recorder events.
+        try:
+            categories = parse_trace_filter(args.trace_filter)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        ring = args.trace_ring if args.crash_report else 0
+        if args.trace == "-":
+            tracer = TraceWriter(stream=sys.stdout, categories=categories,
+                                 ring=ring)
+        elif args.trace:
+            tracer = TraceWriter.to_path(args.trace, categories=categories,
+                                         ring=ring)
+        else:
+            tracer = TraceWriter(categories=categories, ring=ring)
     try:
         if args.scheme == "none":
             if fault_plan is not None:
                 print("note: --inject has no effect with --scheme none "
                       "(no monitoring pipeline to fault)", file=sys.stderr)
             result = run_no_monitoring(workload, config, watchdog=watchdog,
-                                       max_cycles=args.max_cycles)
+                                       max_cycles=args.max_cycles,
+                                       tracer=tracer)
         elif args.scheme == "timesliced":
             result = run_timesliced_monitoring(
                 workload, lifeguard, config, fault_plan=fault_plan,
-                watchdog=watchdog, max_cycles=args.max_cycles)
+                watchdog=watchdog, max_cycles=args.max_cycles,
+                tracer=tracer)
         else:
             accel = (AcceleratorConfig.all_off() if args.no_accel
                      else AcceleratorConfig.all_on())
             result = run_parallel_monitoring(
                 workload, lifeguard, config, accel=accel,
                 fault_plan=fault_plan, watchdog=watchdog,
-                max_cycles=args.max_cycles)
+                max_cycles=args.max_cycles, tracer=tracer)
     except SimulationError as exc:
         # DeadlockError and SimulationTimeout both derive from
         # SimulationError; so do the integrity checks (lost CA
         # broadcast, un-drained log) that fault injection can trip.
         print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
         if args.crash_report:
-            path = write_crash_report(exc, args.crash_report)
+            path = write_crash_report(exc, args.crash_report, tracer=tracer)
             print(f"crash report written to {path}", file=sys.stderr)
         return 4 if isinstance(exc, SimulationTimeout) else 3
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(result.summary())
     breakdown = result.lifeguard_breakdown()
     if breakdown:

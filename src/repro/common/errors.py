@@ -63,7 +63,8 @@ class DeadlockError(SimulationError):
     def __init__(self, message: str, waiting: dict = None, *,
                  kind: str = "deadlock", cycle=None, graph: dict = None,
                  last_retired: dict = None, progress: dict = None,
-                 log_occupancy: dict = None, injected: list = None):
+                 log_occupancy: dict = None, injected: list = None,
+                 trace_tail: list = None):
         super().__init__(message)
         #: Mapping of core name -> human-readable wait reason, for debugging.
         self.waiting = dict(waiting or {})
@@ -83,6 +84,9 @@ class DeadlockError(SimulationError):
         self.log_occupancy = dict(log_occupancy or {})
         #: Faults injected by the run's FaultPlan before the hang.
         self.injected = list(injected or [])
+        #: Last-N flight-recorder events (ring-buffer snapshot) leading
+        #: up to the hang, when a tracer was attached to the run.
+        self.trace_tail = list(trace_tail or [])
 
     def __str__(self):
         parts = [super().__str__()]

@@ -58,13 +58,19 @@ class Watchdog:
 class Engine:
     """Time heap + actor lifecycle tracking."""
 
-    def __init__(self, watchdog: Optional[Watchdog] = None):
+    def __init__(self, watchdog: Optional[Watchdog] = None, tracer=None):
         self.now = 0
         self._heap: List = []
         self._seq = 0
         self._actors: List["CoreActor"] = []
         #: Optional livelock detector; may also be attached after init.
         self.watchdog = watchdog
+        #: Optional :class:`~repro.trace.TraceWriter`; actors emit
+        #: ``engine`` category stall/wake/done events through it. None
+        #: (the default) keeps the run loop completely untouched.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.attach_engine(self)
         #: Simulated time of the last :meth:`note_retire` call.
         self.last_retire = 0
         #: Optional platform callback returning extra diagnostic fields
@@ -161,6 +167,9 @@ class Engine:
         extra = {}
         if self.diagnostics_provider is not None:
             extra = dict(self.diagnostics_provider() or {})
+        trace_tail = extra.get("trace_tail")
+        if trace_tail is None and self.tracer is not None:
+            trace_tail = self.tracer.snapshot()
         return DeadlockError(
             message, waiting=waiting, kind=kind,
             cycle=find_cycle(graph), graph=graph,
@@ -168,6 +177,7 @@ class Engine:
             progress=extra.get("progress"),
             log_occupancy=extra.get("log_occupancy"),
             injected=extra.get("injected"),
+            trace_tail=trace_tail,
         )
 
 
@@ -284,6 +294,9 @@ class CoreActor:
         if self._wait_started is not None:
             waited = self.engine.now - self._wait_started
             self.buckets.charge(self._wait_bucket, waited)
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.emit("engine", "wake", actor=self.name, waited=waited)
             self._wait_started = None
             self._wait_bucket = None
             self.wait_reason = None
@@ -313,11 +326,19 @@ class CoreActor:
                 self.wait_reason = f"{reason} ({condition.name})"
                 self.wait_condition = condition
                 condition.add_waiter(self)
+                tracer = self.engine.tracer
+                if tracer is not None:
+                    tracer.emit("engine", "stall", actor=self.name,
+                                cond=condition.name, why=reason,
+                                bucket=bucket)
                 return
             elif kind == "done":
                 self._purge_wait()
                 self.finished = True
                 self.finish_time = self.engine.now
+                tracer = self.engine.tracer
+                if tracer is not None:
+                    tracer.emit("engine", "done", actor=self.name)
                 self.on_finish()
                 return
             else:

@@ -51,7 +51,7 @@ class LifeguardCore(CoreActor):
                  config: SimulationConfig, progress_table=None, ca_hub=None,
                  version_store=None, use_it: bool = True, use_if: bool = True,
                  use_mtlb: bool = True, enforce_arcs: Optional[bool] = None,
-                 delayed_advertising: bool = True, faults=None):
+                 delayed_advertising: bool = True, faults=None, tracer=None):
         super().__init__(engine, name)
         self.core_id = core_id
         self.tid = tid  # None for the sequential (time-sliced) consumer
@@ -64,16 +64,24 @@ class LifeguardCore(CoreActor):
         self.ca_hub = ca_hub
         self.version_store = version_store
         self.delayed_advertising = delayed_advertising
+        #: Optional :class:`~repro.trace.TraceWriter`; this core emits
+        #: ``engine`` retires, ``arc``/``ca`` stall details, ``advert``
+        #: holds and ``meta`` writes, and hands the writer down to its
+        #: accelerators for their ``accel`` events.
+        self.tracer = tracer
 
-        self.it = InheritanceTracking(enabled=use_it and lifeguard.uses_it)
+        self.it = InheritanceTracking(enabled=use_it and lifeguard.uses_it,
+                                      tracer=tracer, owner=name)
         self.iff = IdempotentFilter(
             entries=config.if_entries,
             enabled=use_if and lifeguard.uses_if,
             track_rids=lifeguard.if_track_rids,
+            tracer=tracer, owner=name,
         )
         self.mtlb = MetadataTLB(
             entries=config.mtlb_entries, costs=self.costs,
             enabled=use_mtlb and lifeguard.uses_mtlb,
+            tracer=tracer, owner=name,
         )
         if enforce_arcs is None:
             enforce_arcs = lifeguard.needs_instruction_arcs
@@ -158,6 +166,10 @@ class LifeguardCore(CoreActor):
             self.records_processed += 1
             self.last_retired = (record.tid, record.rid)
             self.engine.note_retire()
+            if self.tracer is not None:
+                self.tracer.emit("engine", "retire", actor=self.name,
+                                 tid=record.tid, rid=record.rid,
+                                 kind=record.kind)
             cycles += self._publish(record.tid)
             self._phase = _FETCH
             return ("delay", max(cycles, 1), "useful")
@@ -187,6 +199,10 @@ class LifeguardCore(CoreActor):
                 if cost:
                     return ("delay", cost, "useful")
                 self.dependence_stalls += 1
+                if self.tracer is not None:
+                    self.tracer.emit("arc", "stall", actor=self.name,
+                                     tid=record.tid, rid=record.rid,
+                                     src_tid=unmet[0], src_rid=unmet[1])
                 return ("wait", self.progress_table.condition(unmet[0]),
                         "wait_dependence", f"arc (t{unmet[0]},#{unmet[1]})")
 
@@ -198,6 +214,10 @@ class LifeguardCore(CoreActor):
                 if cost:
                     return ("delay", cost, "useful")
                 self.dependence_stalls += 1
+                if self.tracer is not None:
+                    self.tracer.emit("arc", "version_stall", actor=self.name,
+                                     tid=record.tid, rid=record.rid,
+                                     version=version_id)
                 return ("wait", self.version_store.condition(version_id),
                         "wait_dependence", f"version {version_id}")
 
@@ -217,6 +237,9 @@ class LifeguardCore(CoreActor):
                 if cost:
                     return ("delay", cost, "useful")
                 self.ca_stalls += 1
+                if self.tracer is not None:
+                    self.tracer.emit("ca", "stall", actor=self.name,
+                                     ca=record.ca_id, side="completion")
                 return ("wait", state.complete_cond,
                         "wait_dependence", f"CA#{record.ca_id} completion")
 
@@ -229,6 +252,9 @@ class LifeguardCore(CoreActor):
                 if cost:
                     return ("delay", cost, "useful")
                 self.ca_stalls += 1
+                if self.tracer is not None:
+                    self.tracer.emit("ca", "stall", actor=self.name,
+                                     ca=record.ca_id, side="arrivals")
                 return ("wait", state.all_arrived_cond,
                         "wait_dependence", f"CA#{record.ca_id} arrivals")
         return None
@@ -244,6 +270,11 @@ class LifeguardCore(CoreActor):
                 snapshot = self.lifeguard.snapshot_metadata(addr, length)
                 self.version_store.produce(version_id, addr, length, snapshot)
                 cost += 4 + length // 16
+                if self.tracer is not None:
+                    self.tracer.emit("arc", "version_produce",
+                                     actor=self.name, tid=record.tid,
+                                     rid=record.rid, version=version_id,
+                                     addr=addr, size=length)
 
         if record.kind == RecordKind.CA_MARK:
             return cost + 1
@@ -271,6 +302,11 @@ class LifeguardCore(CoreActor):
                 version = self.version_store.consume(record.consume_version[0])
                 event = ("load_versioned", event[1],
                          (version[0], version[1], version[2]))
+                if self.tracer is not None:
+                    self.tracer.emit("arc", "version_consume",
+                                     actor=self.name, tid=record.tid,
+                                     rid=record.rid,
+                                     version=record.consume_version[0])
             key = self.lifeguard.if_key(event)
             if key is not None and self.iff.check(key, record.rid):
                 self.events_filtered += 1
@@ -293,6 +329,9 @@ class LifeguardCore(CoreActor):
         """
         cycles = 0
         for app_addr, size, is_write in accesses:
+            if is_write and self.tracer is not None:
+                self.tracer.emit("meta", "write", actor=self.name,
+                                 addr=app_addr, size=size)
             cycles += self.mtlb.lookup_cost(app_addr)
             for sim_addr, sim_size, sim_write in (
                     self.lifeguard.metadata.sim_accesses(app_addr, size,
@@ -367,11 +406,20 @@ class LifeguardCore(CoreActor):
         advertised = self._advertise_target(tid, processed)
         threshold = self.config.delayed_advertising_threshold
         if threshold and processed - advertised > threshold:
+            if self.tracer is not None:
+                self.tracer.emit("advert", "refresh_flush", actor=self.name,
+                                 tid=tid, processed=processed,
+                                 advertised=advertised)
             cost = self._deliver_flushed(
                 self.it.flush_stale(tid, processed - threshold + 1))
             if self.iff.track_rids:
                 self.iff.invalidate_all()
             advertised = self._advertise_target(tid, processed)
+        elif advertised < processed and self.tracer is not None:
+            # Delayed advertising is holding back RIDs still cached in
+            # an accelerator — the Section 4.2 contract made visible.
+            self.tracer.emit("advert", "hold", actor=self.name, tid=tid,
+                             processed=processed, advertised=advertised)
         self.progress_table.publish(tid, advertised)
         return cost
 

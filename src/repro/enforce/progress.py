@@ -22,7 +22,8 @@ from repro.cpu.engine import Condition, Engine
 class ProgressTable:
     """Per-thread advertised progress counters with waiter wake-up."""
 
-    def __init__(self, engine: Engine, tids: Iterable[int], faults=None):
+    def __init__(self, engine: Engine, tids: Iterable[int], faults=None,
+                 tracer=None):
         self.engine = engine
         self._values: Dict[int, int] = {tid: 0 for tid in tids}
         self._conditions: Dict[int, Condition] = {
@@ -31,6 +32,8 @@ class ProgressTable:
         #: Optional :class:`~repro.faults.FaultPlan` armed at ``progress``
         #: (a suppressed publish models a lost counter update).
         self.faults = faults
+        #: Optional :class:`~repro.trace.TraceWriter` (``advert`` events).
+        self.tracer = tracer
         # Statistics
         self.publishes = 0
 
@@ -48,6 +51,8 @@ class ProgressTable:
                     return  # "suppress": the counter update is lost
             self._values[tid] = rid
             self.publishes += 1
+            if self.tracer is not None:
+                self.tracer.emit("advert", "publish", tid=tid, rid=rid)
             self._conditions[tid].notify_all(self.engine)
 
     def condition(self, tid: int) -> Condition:

@@ -16,9 +16,9 @@ class Machine:
     """One simulated machine instance (engine + memory + OS)."""
 
     def __init__(self, config: SimulationConfig, num_cores: int,
-                 watchdog: Watchdog = None):
+                 watchdog: Watchdog = None, tracer=None):
         self.config = config
-        self.engine = Engine(watchdog=watchdog)
+        self.engine = Engine(watchdog=watchdog, tracer=tracer)
         self.memory = MainMemory()
         self.memsys = CoherentMemorySystem(config, num_cores)
         self.os = OSRuntime(self.memory, config)

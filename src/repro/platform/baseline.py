@@ -15,14 +15,18 @@ from repro.platform.results import RunResult
 
 
 def run_no_monitoring(workload, config: SimulationConfig = None,
-                      watchdog=None, max_cycles=None) -> RunResult:
+                      watchdog=None, max_cycles=None,
+                      tracer=None) -> RunResult:
     """Run a workload without any monitoring; the Figure 6 baseline.
 
-    ``watchdog``/``max_cycles`` give the unmonitored run the same
-    bounded-time surface as the monitored schemes.
+    ``watchdog``/``max_cycles``/``tracer`` give the unmonitored run the
+    same bounded-time and observability surface as the monitored schemes
+    (only ``engine`` category events fire — there is no capture,
+    enforcement or lifeguard hardware to trace).
     """
     config = config or SimulationConfig.for_threads(workload.nthreads)
-    machine = Machine(config, num_cores=workload.nthreads, watchdog=watchdog)
+    machine = Machine(config, num_cores=workload.nthreads, watchdog=watchdog,
+                      tracer=tracer)
     programs = build_thread_programs(workload, machine)
     hooks = MonitoringHooks()  # no CA, no containment, no progress table
 

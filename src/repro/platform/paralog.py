@@ -48,6 +48,7 @@ def run_parallel_monitoring(
     fault_plan=None,
     watchdog=None,
     max_cycles: Optional[int] = None,
+    tracer=None,
 ) -> RunResult:
     """Run a workload under ParaLog parallel monitoring.
 
@@ -59,7 +60,10 @@ def run_parallel_monitoring(
     with no faults is equivalent to passing None (bit-for-bit identical
     runs). ``watchdog`` enables the engine's livelock detector and
     ``max_cycles`` bounds simulated time via
-    :class:`~repro.common.errors.SimulationTimeout`.
+    :class:`~repro.common.errors.SimulationTimeout`. ``tracer`` (a
+    :class:`~repro.trace.TraceWriter`) attaches the flight recorder to
+    every instrumented component; like ``fault_plan``, None keeps all
+    hot paths untouched.
     """
     nthreads = workload.nthreads
     config = config or SimulationConfig.for_threads(nthreads)
@@ -70,7 +74,8 @@ def run_parallel_monitoring(
     # on `faults is not None`, so normalize "no faults" to None here.
     faults = fault_plan if (fault_plan is not None and fault_plan.enabled) else None
 
-    machine = Machine(config, num_cores=2 * nthreads, watchdog=watchdog)
+    machine = Machine(config, num_cores=2 * nthreads, watchdog=watchdog,
+                      tracer=tracer)
     engine = machine.engine
     tids = list(range(nthreads))
 
@@ -80,8 +85,8 @@ def run_parallel_monitoring(
     range_table = SyscallRangeTable()
     lifeguard.range_table = range_table
 
-    progress = ProgressTable(engine, tids, faults=faults)
-    ca_hub = CAHub(engine, faults=faults)
+    progress = ProgressTable(engine, tids, faults=faults, tracer=tracer)
+    ca_hub = CAHub(engine, faults=faults, tracer=tracer)
     version_store = VersionStore(engine) if config.memory_model is MemoryModel.TSO else None
     versioner = (TsoVersioner(config.line_bytes)
                  if config.memory_model is MemoryModel.TSO else None)
@@ -113,7 +118,7 @@ def run_parallel_monitoring(
         log = LogBuffer(engine, config.log_config, name=f"log{tid}",
                         faults=faults)
         capture = OrderCapture(tid, config, log, core_to_tid, current_rids,
-                               trace=trace, faults=faults)
+                               trace=trace, faults=faults, tracer=tracer)
         ca_hub.register(tid, capture)
         logs.append(log)
         captures.append(capture)
@@ -146,7 +151,7 @@ def run_parallel_monitoring(
             progress_table=progress, ca_hub=ca_hub, version_store=version_store,
             use_it=accel.use_it, use_if=accel.use_if, use_mtlb=accel.use_mtlb,
             enforce_arcs=enforce_arcs, delayed_advertising=True,
-            faults=faults,
+            faults=faults, tracer=tracer,
         )
         lifeguard_cores.append(lifeguard_core)
         ca_hub.register_lifeguard_actor(tid, lifeguard_core)

@@ -72,13 +72,17 @@ class RunResult:
         return " ".join(parts)
 
 
-def crash_report(exc: Exception) -> Dict[str, object]:
+def crash_report(exc: Exception, tracer=None) -> Dict[str, object]:
     """Flatten a simulation failure into a JSON-serializable report.
 
     Understands the enriched :class:`DeadlockError` fields (wait-for
     graph, cycle, per-core last-retired RIDs, progress snapshot, log
-    occupancies, injected faults) and :class:`SimulationTimeout`'s cycle
-    budget; any other exception degrades to type + message.
+    occupancies, injected faults, flight-recorder tail) and
+    :class:`SimulationTimeout`'s cycle budget; any other exception
+    degrades to type + message. ``tracer`` (a
+    :class:`~repro.trace.TraceWriter`) supplies the last-N event ring
+    for failures that don't carry one themselves (timeouts, integrity
+    checks raised outside the engine's diagnosis path).
     """
     report: Dict[str, object] = {
         "error": type(exc).__name__,
@@ -95,18 +99,25 @@ def crash_report(exc: Exception) -> Dict[str, object]:
             "log_occupancy": exc.log_occupancy,
             "injected_faults": exc.injected,
         })
+        if exc.trace_tail:
+            report["trace_tail"] = exc.trace_tail
     elif isinstance(exc, SimulationTimeout):
         report.update({
             "kind": "timeout",
             "cycle": exc.cycle,
             "pending_events": exc.pending_events,
         })
+    if "trace_tail" not in report and tracer is not None:
+        tail = tracer.snapshot()
+        if tail:
+            report["trace_tail"] = tail
     return report
 
 
-def write_crash_report(exc: Exception, path: str) -> str:
+def write_crash_report(exc: Exception, path: str, tracer=None) -> str:
     """Serialize :func:`crash_report` to ``path`` as JSON; returns the path."""
     with open(path, "w") as handle:
-        json.dump(crash_report(exc), handle, indent=2, sort_keys=True)
+        json.dump(crash_report(exc, tracer=tracer), handle, indent=2,
+                  sort_keys=True)
         handle.write("\n")
     return path

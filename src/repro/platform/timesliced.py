@@ -40,12 +40,14 @@ def run_timesliced_monitoring(
     fault_plan=None,
     watchdog=None,
     max_cycles: Optional[int] = None,
+    tracer=None,
 ) -> RunResult:
     """Run a workload under the time-sliced monitoring baseline.
 
-    ``fault_plan``/``watchdog``/``max_cycles`` mirror the parallel
-    scheme's robustness surface (arc and CA sites never fire here —
-    a single interleaved stream has neither).
+    ``fault_plan``/``watchdog``/``max_cycles``/``tracer`` mirror the
+    parallel scheme's robustness and observability surface (arc and CA
+    trace events never fire here — a single interleaved stream has
+    neither).
     """
     nthreads = workload.nthreads
     config = config or SimulationConfig.for_threads(nthreads)
@@ -55,7 +57,7 @@ def run_timesliced_monitoring(
     faults = fault_plan if (fault_plan is not None and fault_plan.enabled) else None
 
     # one app core, one lifeguard core
-    machine = Machine(config, num_cores=2, watchdog=watchdog)
+    machine = Machine(config, num_cores=2, watchdog=watchdog, tracer=tracer)
     engine = machine.engine
     tids = list(range(nthreads))
 
@@ -64,7 +66,7 @@ def run_timesliced_monitoring(
     )
     range_table = SyscallRangeTable()
     lifeguard.range_table = range_table
-    progress = ProgressTable(engine, tids, faults=faults)
+    progress = ProgressTable(engine, tids, faults=faults, tracer=tracer)
 
     hooks = MonitoringHooks(
         ca_hub=None, ca_subscriptions=frozenset(),
@@ -77,7 +79,7 @@ def run_timesliced_monitoring(
     current_rids = {}
     captures = {
         tid: OrderCapture(tid, config, log, core_to_tid, current_rids,
-                          trace=trace)
+                          trace=trace, tracer=tracer)
         for tid in tids
     }
 
@@ -94,6 +96,7 @@ def run_timesliced_monitoring(
         progress_table=progress, ca_hub=None, version_store=None,
         use_it=accel.use_it, use_if=accel.use_if, use_mtlb=accel.use_mtlb,
         enforce_arcs=False, delayed_advertising=False, faults=faults,
+        tracer=tracer,
     )
     log.not_full.owners = [lifeguard_core]
     log.not_empty.owners = [app_core]

@@ -1,0 +1,259 @@
+"""The flight recorder: a cycle-stamped, append-only JSONL event trace.
+
+Every instrumented component (engine actors, order capture, the
+ConflictAlert hub, the progress table, the accelerators, the lifeguard
+cores) emits structured events into one :class:`TraceWriter`. The writer
+is deliberately dumb — it stamps, filters, encodes and stores — so that
+the cost of *disabled* tracing is a single ``tracer is None`` check at
+each emit site (the same contract the fault-injection hooks follow).
+
+Three storage modes, freely combinable:
+
+* **stream** — each event is written immediately as one compact JSON
+  line and flushed, so ``tail -f trace.jsonl | jq .`` works while the
+  simulation runs.
+* **ring** — a bounded ``deque`` keeps only the last N events; crash
+  reports embed :meth:`snapshot` so a post-mortem shows what the
+  machine was doing right before it died.
+* **keep** — every event is retained in :attr:`events` for in-process
+  inspection (tests, the differential checker, golden traces).
+
+Event schema: every event is a flat JSON object with at least
+
+* ``cycle`` — the engine's simulated time at emission (0 before a
+  simulation engine is attached),
+* ``cat`` — one of :data:`CATEGORIES`,
+* ``event`` — a short event name within the category,
+
+plus event-specific scalar fields. Deliberately *not* recorded:
+``commit_time`` stamps (they come from a process-global counter and
+would make otherwise identical runs hash differently) and wall-clock
+times. Two runs of the same seeded configuration therefore produce
+bit-identical traces — :func:`trace_hash` turns that into a testable
+invariant.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: Event categories, used for ``--trace-filter`` and ``wants()``.
+#:
+#: ======== ======================================================
+#: engine   actor stall/wake/done, lifeguard record retirement
+#: arc      dependence arc publish/reduce/stall, TSO versions
+#: ca       ConflictAlert broadcast/mark/arrive/complete
+#: advert   progress publishes, delayed-advertising holds/flushes
+#: accel    IT absorb/condense, IF hit/miss, M-TLB hit/miss
+#: meta     lifeguard metadata writes
+#: ======== ======================================================
+CATEGORIES = ("engine", "arc", "ca", "advert", "accel", "meta")
+
+_CATEGORY_SET = frozenset(CATEGORIES)
+
+#: Default ring capacity when a bounded buffer is requested without a size.
+DEFAULT_RING_EVENTS = 256
+
+
+def parse_trace_filter(spec: str) -> FrozenSet[str]:
+    """Parse a ``--trace-filter`` value: comma-separated category names.
+
+    ``"all"`` (or an empty string) selects every category. Unknown names
+    raise :class:`~repro.common.errors.ConfigurationError` listing the
+    valid set.
+    """
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if not names or "all" in names:
+        return _CATEGORY_SET
+    unknown = sorted(set(names) - _CATEGORY_SET)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown trace categories {unknown}; "
+            f"valid: {', '.join(CATEGORIES)} (or 'all')")
+    return frozenset(names)
+
+
+def _sanitize(value):
+    """Coerce one field value to a JSON-stable scalar (or list thereof)."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_sanitize(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items.sort(key=repr)
+        return items
+    return repr(value)
+
+
+class TraceWriter:
+    """Collects flight-recorder events; see the module docstring.
+
+    ``categories=None`` records everything; otherwise only the named
+    categories are kept and every other emit is a cheap set-miss.
+    The simulation engine is attached by the platform wiring
+    (:meth:`attach_engine`) so event ``cycle`` stamps follow simulated
+    time; a writer used before/without an engine stamps cycle 0.
+    """
+
+    __slots__ = ("categories", "events", "_engine", "_ring", "_stream",
+                 "_owns_stream", "emitted")
+
+    def __init__(self, *, stream=None, categories: Optional[Iterable[str]] = None,
+                 ring: int = 0, keep: bool = False):
+        if categories is not None:
+            categories = frozenset(categories)
+            unknown = sorted(categories - _CATEGORY_SET)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown trace categories {unknown}; "
+                    f"valid: {', '.join(CATEGORIES)}")
+        self.categories = categories
+        if ring < 0:
+            raise ConfigurationError("trace ring size must be >= 0")
+        self._ring = deque(maxlen=ring) if ring else None
+        self._stream = stream
+        self._owns_stream = False
+        self.events: Optional[List[dict]] = [] if keep else None
+        self._engine = None
+        #: Total events recorded (post-filter), for tests and stats.
+        self.emitted = 0
+
+    @classmethod
+    def to_path(cls, path: str, *, categories=None, ring: int = 0,
+                keep: bool = False) -> "TraceWriter":
+        """Open ``path`` for writing and stream events into it."""
+        writer = cls(stream=open(path, "w"), categories=categories,
+                     ring=ring, keep=keep)
+        writer._owns_stream = True
+        return writer
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_engine(self, engine) -> None:
+        """Bind the simulated clock; done by the platform wiring."""
+        self._engine = engine
+
+    def wants(self, cat: str) -> bool:
+        """Would an event in ``cat`` be recorded? (Lets callers skip
+        building expensive field payloads for filtered categories.)"""
+        return self.categories is None or cat in self.categories
+
+    # -- the hot path ---------------------------------------------------------
+
+    def emit(self, cat: str, event: str, **fields) -> None:
+        """Record one event (dropped silently if ``cat`` is filtered)."""
+        if self.categories is not None and cat not in self.categories:
+            return
+        payload: Dict[str, object] = {
+            "cycle": self._engine.now if self._engine is not None else 0,
+            "cat": cat,
+            "event": event,
+        }
+        for key, value in fields.items():
+            payload[key] = _sanitize(value)
+        self.emitted += 1
+        if self.events is not None:
+            self.events.append(payload)
+        if self._ring is not None:
+            self._ring.append(payload)
+        if self._stream is not None:
+            self._stream.write(encode_event(payload))
+            self._stream.write("\n")
+            self._stream.flush()  # safe for tail -f mid-simulation
+
+    # -- retrieval ------------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """The last-N events for crash reports (ring if bounded, else
+        the kept tail, else empty)."""
+        if self._ring is not None:
+            return list(self._ring)
+        if self.events is not None:
+            return self.events[-DEFAULT_RING_EVENTS:]
+        return []
+
+    def close(self) -> None:
+        """Close the output stream if this writer opened it."""
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self._owns_stream = False
+
+
+# -- encoding / verification helpers -----------------------------------------
+
+
+def encode_event(payload: dict) -> str:
+    """One event as a compact, key-sorted JSON line (no newline)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def validate_event(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a schema-valid event."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"event is not an object: {payload!r}")
+    for required in ("cycle", "cat", "event"):
+        if required not in payload:
+            raise ValueError(f"event missing {required!r}: {payload!r}")
+    if not isinstance(payload["cycle"], int) or payload["cycle"] < 0:
+        raise ValueError(f"bad cycle stamp: {payload!r}")
+    if payload["cat"] not in _CATEGORY_SET:
+        raise ValueError(f"unknown category {payload['cat']!r}: {payload!r}")
+    if not isinstance(payload["event"], str) or not payload["event"]:
+        raise ValueError(f"bad event name: {payload!r}")
+    for key, value in payload.items():
+        if not isinstance(key, str):
+            raise ValueError(f"non-string field name {key!r}: {payload!r}")
+        if not _json_scalar(value):
+            raise ValueError(f"non-scalar field {key}={value!r}")
+
+
+def _json_scalar(value) -> bool:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, list):
+        return all(_json_scalar(item) for item in value)
+    return False
+
+
+def trace_hash(events: Iterable[dict]) -> str:
+    """SHA-256 over the canonical encoding of an event sequence.
+
+    Two runs of the same seeded configuration must produce equal hashes
+    (the determinism test); any hidden nondeterminism — dict-order
+    iteration, id()-keyed structures, global counters leaking into
+    events — shows up as a hash mismatch long before it poisons a
+    benchmark comparison.
+    """
+    digest = hashlib.sha256()
+    for payload in events:
+        digest.update(encode_event(payload).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def read_trace(path: str) -> List[dict]:
+    """Load a JSONL trace file (validating every line)."""
+    events = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            validate_event(payload)
+            events.append(payload)
+    return events

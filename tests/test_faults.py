@@ -41,13 +41,14 @@ BUDGET = 2_000_000
 DIAGNOSED = (DeadlockError, SimulationError, SimulationTimeout)
 
 
-def run_faulted(plan, scheme="parallel"):
+def run_faulted(plan, scheme="parallel", tracer=None):
     """One swaptions/TaintCheck run under ``plan``, bounded in time."""
     workload = build_workload("swaptions", nthreads=2)
     runner = (run_parallel_monitoring if scheme == "parallel"
               else run_timesliced_monitoring)
     return runner(workload, TaintCheck, fault_plan=plan,
-                  watchdog=Watchdog(window=500_000), max_cycles=BUDGET)
+                  watchdog=Watchdog(window=500_000), max_cycles=BUDGET,
+                  tracer=tracer)
 
 
 class TestFaultPlanUnit:
@@ -222,6 +223,58 @@ class TestCrashReportSerialization:
         assert report["pending_events"] >= 1
 
 
+class TestCrashReportTraceTail:
+    """Crash reports carry the flight recorder's last-N events: the
+    post-mortem shows what the machine was doing right before it died."""
+
+    def test_deadlock_report_embeds_ring_buffer(self):
+        from repro.trace import DEFAULT_RING_EVENTS, TraceWriter
+        from repro.trace.writer import validate_event
+        plan = FaultPlan(faults=(parse_fault_spec("lifeguard:kill:t0"),))
+        tracer = TraceWriter(ring=DEFAULT_RING_EVENTS)
+        with pytest.raises(DeadlockError) as exc:
+            run_faulted(plan, tracer=tracer)
+        assert exc.value.trace_tail, "DeadlockError lost the trace tail"
+        report = crash_report(exc.value, tracer=tracer)
+        tail = report["trace_tail"]
+        assert 0 < len(tail) <= DEFAULT_RING_EVENTS
+        for event in tail:
+            validate_event(event)
+        # the tail is the *end* of the run: cycle stamps never rewind
+        cycles = [event["cycle"] for event in tail]
+        assert cycles == sorted(cycles)
+
+    def test_timeout_report_falls_back_to_tracer_snapshot(self):
+        """SimulationTimeout carries no trace itself; crash_report pulls
+        the tail straight from the tracer."""
+        from repro.trace import TraceWriter
+        workload = build_workload("swaptions", nthreads=2)
+        tracer = TraceWriter(ring=64)
+        with pytest.raises(SimulationTimeout) as exc:
+            run_parallel_monitoring(workload, TaintCheck, max_cycles=500,
+                                    tracer=tracer)
+        report = crash_report(exc.value, tracer=tracer)
+        assert 0 < len(report["trace_tail"]) <= 64
+
+    def test_report_without_tracer_has_no_tail(self):
+        plan = FaultPlan(faults=(parse_fault_spec("lifeguard:kill:t0"),))
+        with pytest.raises(DeadlockError) as exc:
+            run_faulted(plan)
+        assert "trace_tail" not in crash_report(exc.value)
+
+    def test_trace_tail_round_trips_through_json(self, tmp_path):
+        from repro.trace import TraceWriter
+        plan = FaultPlan(faults=(parse_fault_spec("lifeguard:kill:t0"),))
+        tracer = TraceWriter(ring=32)
+        with pytest.raises(DeadlockError) as exc:
+            run_faulted(plan, tracer=tracer)
+        path = tmp_path / "crash.json"
+        write_crash_report(exc.value, str(path), tracer=tracer)
+        loaded = json.loads(path.read_text())
+        assert loaded["trace_tail"] == crash_report(
+            exc.value, tracer=tracer)["trace_tail"]
+
+
 class TestCliRobustnessSurface:
     def test_run_exit_codes_and_report(self, tmp_path, capsys):
         from repro.cli import main
@@ -232,6 +285,15 @@ class TestCliRobustnessSurface:
         assert code == 3
         loaded = json.loads(report_path.read_text())
         assert loaded["error"] in ("DeadlockError", "SimulationError")
+        # --crash-report alone arms a silent ring buffer: the report
+        # carries the last-N flight-recorder events without --trace
+        tail = loaded["trace_tail"]
+        assert tail
+        from repro.trace import DEFAULT_RING_EVENTS
+        from repro.trace.writer import validate_event
+        assert len(tail) <= DEFAULT_RING_EVENTS
+        for event in tail:
+            validate_event(event)
 
         code = main(["run", "swaptions", "--threads", "2",
                      "--max-cycles", "500"])

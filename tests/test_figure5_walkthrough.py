@@ -14,12 +14,18 @@ pre-write (versioned) metadata: with A tainted before the run, thread
 overwrite A's metadata first.
 """
 
+import difflib
+import json
+import os
+from pathlib import Path
+
 import pytest
 
-from repro import MemoryModel, SimulationConfig, TaintCheck, \
+from repro import MemoryModel, SimulationConfig, TaintCheck, TraceWriter, \
     run_parallel_monitoring
 from repro.capture.events import RecordKind
 from repro.isa.registers import R0, R1
+from repro.trace.writer import encode_event, validate_event
 from repro.workloads import CustomWorkload
 
 A = 0x1000_0000
@@ -122,3 +128,73 @@ class TestFigure5:
         assert result.stats["versions_produced"] >= 1
         assert (result.stats["versions_consumed"]
                 >= result.stats["versions_produced"])
+
+
+# ---------------------------------------------------------------------------
+# Golden flight-recorder trace
+# ---------------------------------------------------------------------------
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "figure5_trace.golden.jsonl"
+
+
+def _canonical_lines(events):
+    """The golden projection: every field except the ``cycle`` stamp.
+
+    Cycle numbers move whenever a latency constant is tuned; the *event
+    sequence* — which arcs were published, which loads consumed which
+    versions, what the lifeguards retired in what order — is the
+    walkthrough's semantic content and must not drift silently."""
+    lines = []
+    for event in events:
+        validate_event(event)
+        payload = {key: value for key, value in event.items()
+                   if key != "cycle"}
+        lines.append(encode_event(payload))
+    return lines
+
+
+class TestFigure5GoldenTrace:
+    def test_flight_recorder_matches_golden(self):
+        """Regenerate with: REGEN_GOLDEN=1 pytest tests/test_figure5_walkthrough.py"""
+        config = SimulationConfig.for_threads(2,
+                                              memory_model=MemoryModel.TSO)
+        tracer = TraceWriter(keep=True)
+        run_parallel_monitoring(figure5_workload(), taint_a_factory, config,
+                                keep_trace=True, tracer=tracer)
+        tracer.close()
+        lines = _canonical_lines(tracer.events)
+        assert lines, "the walkthrough emitted no flight-recorder events"
+
+        if os.environ.get("REGEN_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text("\n".join(lines) + "\n")
+
+        golden = GOLDEN_PATH.read_text().splitlines()
+        if lines != golden:
+            diff = "\n".join(difflib.unified_diff(
+                golden, lines, fromfile="golden", tofile="this run",
+                lineterm=""))
+            pytest.fail(
+                "Figure 5 flight-recorder trace diverged from the golden "
+                "file (REGEN_GOLDEN=1 to accept the new behavior):\n"
+                + diff)
+
+    def test_golden_file_is_schema_valid(self):
+        for line in GOLDEN_PATH.read_text().splitlines():
+            payload = json.loads(line)
+            # golden lines are cycle-projected; restore a stamp to
+            # validate the remaining schema
+            validate_event(dict(payload, cycle=0))
+
+    def test_golden_trace_tells_the_figures_story(self):
+        """The checked-in golden must contain the walkthrough's plot
+        points: TSO version produce/consume arcs and both lifeguards
+        retiring their threads' streams."""
+        events = [json.loads(line)
+                  for line in GOLDEN_PATH.read_text().splitlines()]
+        names = {(event["cat"], event["event"]) for event in events}
+        assert ("arc", "version_produce") in names
+        assert ("arc", "version_consume") in names
+        retiring = {event["actor"] for event in events
+                    if event["event"] == "retire"}
+        assert retiring == {"lifeguard0", "lifeguard1"}

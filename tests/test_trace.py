@@ -1,0 +1,219 @@
+"""The flight recorder (repro.trace): writer unit tests, end-to-end
+emission through all three platform schemes, and the "disabled tracing
+is behavior-identical" contract."""
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    SimulationConfig,
+    TaintCheck,
+    TraceWriter,
+    build_workload,
+    parse_trace_filter,
+    run_no_monitoring,
+    run_parallel_monitoring,
+    run_timesliced_monitoring,
+    trace_hash,
+)
+from repro.trace import CATEGORIES, DEFAULT_RING_EVENTS, read_trace
+from repro.trace.writer import encode_event, validate_event
+
+
+class TestTraceFilterParsing:
+    def test_all_and_empty_select_everything(self):
+        assert parse_trace_filter("all") == frozenset(CATEGORIES)
+        assert parse_trace_filter("") == frozenset(CATEGORIES)
+        assert parse_trace_filter("arc, all") == frozenset(CATEGORIES)
+
+    def test_subset(self):
+        assert parse_trace_filter("arc,ca") == frozenset({"arc", "ca"})
+        assert parse_trace_filter(" engine ") == frozenset({"engine"})
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError, match="bogus"):
+            parse_trace_filter("arc,bogus")
+        with pytest.raises(ConfigurationError):
+            TraceWriter(categories=("nope",))
+
+
+class TestTraceWriterUnit:
+    def test_category_filtering_and_wants(self):
+        writer = TraceWriter(categories=("arc",), keep=True)
+        writer.emit("arc", "publish", tid=0, rid=1)
+        writer.emit("ca", "broadcast", ca=1)
+        assert writer.wants("arc") and not writer.wants("ca")
+        assert writer.emitted == 1
+        assert [event["event"] for event in writer.events] == ["publish"]
+
+    def test_ring_keeps_only_last_n(self):
+        writer = TraceWriter(ring=4)
+        for index in range(10):
+            writer.emit("engine", "stall", index=index)
+        tail = writer.snapshot()
+        assert [event["index"] for event in tail] == [6, 7, 8, 9]
+
+    def test_keep_mode_snapshot_is_bounded(self):
+        writer = TraceWriter(keep=True)
+        for index in range(DEFAULT_RING_EVENTS + 10):
+            writer.emit("engine", "stall", index=index)
+        assert len(writer.events) == DEFAULT_RING_EVENTS + 10
+        assert len(writer.snapshot()) == DEFAULT_RING_EVENTS
+
+    def test_stream_mode_is_line_buffered_json(self):
+        stream = io.StringIO()
+        writer = TraceWriter(stream=stream)
+        writer.emit("meta", "write", addr=0x40000000, size=4)
+        line = stream.getvalue()
+        assert line.endswith("\n") and "\n" not in line[:-1]
+        payload = json.loads(line)
+        validate_event(payload)
+        assert payload["cycle"] == 0  # no engine attached
+
+    def test_fields_are_sanitized_to_scalars(self):
+        from repro.capture.events import RecordKind
+        writer = TraceWriter(keep=True)
+        writer.emit("engine", "retire", kind=RecordKind.LOAD,
+                    participants={2, 0, 1}, extra=object())
+        event = writer.events[0]
+        validate_event(event)
+        assert event["kind"] == "LOAD"
+        assert event["participants"] == [0, 1, 2]
+        assert isinstance(event["extra"], str)
+
+    def test_encoding_is_compact_and_key_sorted(self):
+        line = encode_event({"event": "x", "cat": "arc", "cycle": 3})
+        assert line == '{"cat":"arc","cycle":3,"event":"x"}'
+
+    def test_validate_event_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_event({"cat": "arc", "event": "x"})  # no cycle
+        with pytest.raises(ValueError):
+            validate_event({"cycle": 1, "cat": "wat", "event": "x"})
+        with pytest.raises(ValueError):
+            validate_event({"cycle": 1, "cat": "arc", "event": ""})
+        with pytest.raises(ValueError):
+            validate_event({"cycle": 1, "cat": "arc", "event": "x",
+                            "bad": {"nested": 1}})
+
+
+def _run(scheme, tracer=None, **kwargs):
+    workload = build_workload("swaptions", nthreads=2)
+    config = SimulationConfig.for_threads(2)
+    if scheme == "parallel":
+        return run_parallel_monitoring(workload, TaintCheck, config,
+                                       tracer=tracer, **kwargs)
+    if scheme == "timesliced":
+        return run_timesliced_monitoring(workload, TaintCheck, config,
+                                         tracer=tracer, **kwargs)
+    return run_no_monitoring(workload, config, tracer=tracer)
+
+
+ALL_SCHEMES = ("parallel", "timesliced", "none")
+
+
+class TestEndToEndEmission:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_every_event_is_schema_valid(self, scheme):
+        tracer = TraceWriter(keep=True)
+        _run(scheme, tracer=tracer)
+        assert tracer.emitted == len(tracer.events) > 0
+        for event in tracer.events:
+            validate_event(event)
+
+    def test_cycle_stamps_are_monotone(self):
+        tracer = TraceWriter(keep=True)
+        _run("parallel", tracer=tracer)
+        cycles = [event["cycle"] for event in tracer.events]
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_parallel_run_covers_the_paper_mechanisms(self):
+        tracer = TraceWriter(keep=True)
+        _run("parallel", tracer=tracer)
+        seen = {(event["cat"], event["event"]) for event in tracer.events}
+        for expected in (("engine", "retire"), ("arc", "publish"),
+                         ("ca", "broadcast"), ("ca", "arrive"),
+                         ("ca", "complete"), ("advert", "publish"),
+                         ("accel", "mtlb_hit"), ("meta", "write")):
+            assert expected in seen, f"no {expected} events emitted"
+
+    def test_baseline_emits_only_engine_events(self):
+        tracer = TraceWriter(keep=True)
+        _run("none", tracer=tracer)
+        assert {event["cat"] for event in tracer.events} == {"engine"}
+
+    def test_category_filter_drops_other_categories(self):
+        tracer = TraceWriter(categories=("ca",), keep=True)
+        _run("parallel", tracer=tracer)
+        assert tracer.events
+        assert {event["cat"] for event in tracer.events} == {"ca"}
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = TraceWriter.to_path(path, keep=True)
+        _run("parallel", tracer=tracer)
+        tracer.close()
+        loaded = read_trace(path)
+        assert loaded == tracer.events
+        assert trace_hash(loaded) == trace_hash(tracer.events)
+
+
+class TestDisabledTracingIsBehaviorIdentical:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_traced_and_untraced_runs_agree(self, scheme):
+        untraced = _run(scheme)
+        tracer = TraceWriter(keep=True)
+        traced = _run(scheme, tracer=tracer)
+        assert traced.total_cycles == untraced.total_cycles
+        assert traced.instructions == untraced.instructions
+        assert traced.stats == untraced.stats
+        assert ([(v.kind, v.tid, v.rid) for v in traced.violations]
+                == [(v.kind, v.tid, v.rid) for v in untraced.violations])
+
+
+@pytest.mark.slow
+class TestDisabledTracingOverheadSmoke:
+    def test_untraced_run_is_not_slower_than_traced(self):
+        """Disabled tracing costs one ``tracer is None`` check per emit
+        site. A full trace (all categories, kept in memory) does real
+        work per event, so an *untraced* run taking longer than a traced
+        one means disabled tracing is doing work it must not do. The
+        1.5x margin absorbs scheduler noise."""
+        import time
+
+        def measure(tracer_factory):
+            samples = []
+            for _ in range(3):
+                tracer = tracer_factory()
+                start = time.perf_counter()
+                _run("parallel", tracer=tracer)
+                samples.append(time.perf_counter() - start)
+            return sorted(samples)[1]  # median of 3
+
+        untraced = measure(lambda: None)
+        traced = measure(lambda: TraceWriter(keep=True))
+        assert untraced <= traced * 1.5, (
+            f"untraced {untraced:.3f}s vs traced {traced:.3f}s")
+
+
+class TestCliTraceFlag:
+    def test_run_trace_emits_valid_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "trace.jsonl"
+        code = main(["run", "swaptions", "--threads", "2",
+                     "--trace", str(path), "--trace-filter", "arc,ca,engine"])
+        assert code == 0
+        events = read_trace(str(path))
+        assert events
+        assert {event["cat"] for event in events} <= {"arc", "ca", "engine"}
+
+    def test_bad_trace_filter_is_a_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+        code = main(["run", "swaptions", "--threads", "2",
+                     "--trace", str(tmp_path / "t.jsonl"),
+                     "--trace-filter", "bogus"])
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err

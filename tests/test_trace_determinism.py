@@ -1,0 +1,68 @@
+"""Trace determinism: the same seeded program and configuration must
+produce a bit-identical flight-recorder trace on every run, for each of
+the three platform schemes.
+
+This is the invariant that makes golden traces and differential
+checking trustworthy: any hidden nondeterminism (iteration over
+id()-keyed dicts, process-global counters leaking into events, set
+ordering) shows up here as a hash mismatch."""
+
+import pytest
+
+from repro import SimulationConfig, TraceWriter, trace_hash
+from repro.trace.diff import RacyProgram, differential_check, lifeguard_factory
+from repro.platform import (
+    run_no_monitoring,
+    run_parallel_monitoring,
+    run_timesliced_monitoring,
+)
+
+ALL_SCHEMES = ("parallel", "timesliced", "no_monitoring")
+
+
+def _traced_run(scheme, seed):
+    program = RacyProgram.generate(seed, nthreads=2, length=16)
+    config = SimulationConfig.for_threads(2)
+    tracer = TraceWriter(keep=True)
+    if scheme == "parallel":
+        run_parallel_monitoring(program.workload(),
+                                lifeguard_factory("taintcheck"), config,
+                                tracer=tracer)
+    elif scheme == "timesliced":
+        run_timesliced_monitoring(program.workload(),
+                                  lifeguard_factory("taintcheck"), config,
+                                  tracer=tracer)
+    else:
+        run_no_monitoring(program.workload(), config, tracer=tracer)
+    tracer.close()
+    return tracer.events
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_same_seed_same_hash(self, scheme):
+        first = _traced_run(scheme, seed=11)
+        second = _traced_run(scheme, seed=11)
+        assert trace_hash(first) == trace_hash(second)
+
+    def test_different_seeds_different_hashes(self):
+        assert (trace_hash(_traced_run("parallel", seed=11))
+                != trace_hash(_traced_run("parallel", seed=12)))
+
+    def test_hash_is_sensitive_to_every_field(self):
+        events = [{"cycle": 1, "cat": "arc", "event": "publish", "tid": 0}]
+        tweaked = [dict(events[0], tid=1)]
+        assert trace_hash(events) != trace_hash(tweaked)
+
+
+class TestProgramGeneratorDeterminism:
+    def test_same_seed_same_scripts(self):
+        assert (RacyProgram.generate(5, nthreads=3).scripts
+                == RacyProgram.generate(5, nthreads=3).scripts)
+
+    def test_report_is_reproducible(self):
+        first = differential_check(9, lifeguard="addrcheck")
+        second = differential_check(9, lifeguard="addrcheck")
+        assert first.ok and second.ok
+        assert first.verdicts == second.verdicts
+        assert first.instructions == second.instructions
