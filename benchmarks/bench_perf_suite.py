@@ -1,0 +1,34 @@
+"""The repro.perf scenario suite, run under pytest-benchmark.
+
+``python -m repro.perf`` is the canonical harness (machine-readable
+JSON, the regression gate); this file exposes the same scenarios to the
+pytest-benchmark workflow so they appear alongside the component
+micro-benchmarks, and publishes the quick-suite report text under
+``benchmarks/results/``.
+"""
+
+from repro.perf import (
+    format_suite,
+    run_diff_sweep,
+    run_figure5,
+    run_suite,
+    run_taint_large,
+)
+
+
+def test_perf_scenario_figure5(benchmark):
+    benchmark(run_figure5)
+
+
+def test_perf_scenario_diff_sweep_quick(benchmark):
+    benchmark(lambda: run_diff_sweep(range(5)))
+
+
+def test_perf_scenario_taint_large_quick(benchmark):
+    from repro.common.config import ScalePreset
+    benchmark(lambda: run_taint_large(nthreads=3, scale=ScalePreset.TINY))
+
+
+def test_perf_quick_suite_report(publish):
+    suite = run_suite("quick", repeats=1)
+    publish("perf_quick_suite", format_suite("quick", suite))

@@ -26,6 +26,9 @@ PAGE_BYTES = 4096
 class MetadataTLB:
     """LRU cache of application-page -> metadata-page mappings."""
 
+    __slots__ = ("capacity", "costs", "enabled", "_entries", "tracer",
+                 "owner", "hits", "misses", "flushes")
+
     def __init__(self, entries: int, costs: LifeguardCostConfig,
                  enabled: bool = True, tracer=None, owner: str = ""):
         if entries < 1:

@@ -21,6 +21,11 @@ from repro.cpu.engine import Condition, Engine
 class LogBuffer:
     """Bounded FIFO of event records with byte-occupancy accounting."""
 
+    __slots__ = ("engine", "capacity_bytes", "name", "faults", "records_lost",
+                 "_queue", "_occupied_bytes", "_encoder", "not_full",
+                 "not_empty", "closed", "total_records", "total_bytes",
+                 "peak_bytes")
+
     def __init__(self, engine: Engine, config: LogBufferConfig, name: str,
                  faults=None):
         self.engine = engine

@@ -8,6 +8,8 @@ Commands:
 * ``figure6`` / ``figure7`` / ``figure8`` — regenerate a paper figure.
 * ``headline`` — the abstract's three claims.
 * ``swaptions`` — the Section 7 swaptions analysis.
+* ``perf`` — the benchmark harness / regression gate (forwards to
+  ``python -m repro.perf``; see its ``--help``).
 * ``list`` — available workloads and lifeguards.
 
 ``run`` exit codes: 0 success, 3 diagnosed deadlock/livelock
@@ -153,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
                            default="tiny")
     swaptions.add_argument("--seed", type=int, default=1)
 
+    perf = sub.add_parser(
+        "perf", help="benchmark harness / perf gate (python -m repro.perf)",
+        add_help=False)
+    perf.add_argument("perf_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro.perf")
+
     sub.add_parser("list", help="available workloads and lifeguards")
     return parser
 
@@ -250,6 +258,14 @@ def _cmd_run(args) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `perf` forwards everything verbatim to repro.perf's own parser
+    # (argparse REMAINDER rejects unknown leading options, so dispatch
+    # before the main parse).
+    if argv and argv[0] == "perf":
+        from repro.perf import main as perf_main
+        return perf_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.command == "table1":

@@ -49,6 +49,8 @@ class MonitoringHooks:
 class NullCapture:
     """Capture stand-in for unmonitored runs: counts rids, stores nothing."""
 
+    __slots__ = ("tid", "_rid", "fully_committed", "draining_record")
+
     def __init__(self, tid: int):
         self.tid = tid
         self._rid = 0
@@ -77,6 +79,9 @@ class NullCapture:
 
 class TsoStoreBuffer:
     """Per-core FIFO store buffer with drain/forwarding support."""
+
+    __slots__ = ("engine", "capacity", "entries", "not_full", "not_empty",
+                 "empty_cond", "closed")
 
     def __init__(self, engine: Engine, capacity: int, name: str):
         self.engine = engine

@@ -63,6 +63,12 @@ class Engine:
         self._heap: List = []
         self._seq = 0
         self._actors: List["CoreActor"] = []
+        #: Registered actors that have not finished yet. Maintained by
+        #: :meth:`register` and :meth:`note_finish` so the watchdog's
+        #: per-event liveness check is O(1) instead of an O(actors) scan.
+        self._unfinished = 0
+        #: Total events popped off the time heap (perf-harness metric).
+        self.events_popped = 0
         #: Optional livelock detector; may also be attached after init.
         self.watchdog = watchdog
         #: Optional :class:`~repro.trace.TraceWriter`; actors emit
@@ -80,6 +86,11 @@ class Engine:
 
     def register(self, actor: "CoreActor") -> None:
         self._actors.append(actor)
+        self._unfinished += 1
+
+    def note_finish(self, actor: "CoreActor") -> None:
+        """Actors report here exactly once, when they finish."""
+        self._unfinished -= 1
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         if delay < 0:
@@ -105,30 +116,40 @@ class Engine:
         or, with a :class:`Watchdog` attached, when no actor retires for
         a whole watchdog window. Raises :class:`SimulationTimeout` when
         ``max_cycles`` is exceeded; the event that tripped the budget
-        stays on the heap and its time is committed to :attr:`now`.
+        stays on the heap (``pending_events`` counts it) and its time is
+        committed to :attr:`now`, so a later ``run()`` call with a
+        larger (or no) budget resumes by executing that event first —
+        the crash report and a resumed run see the same heap.
         """
         watchdog = self.watchdog
-        while self._heap:
-            time = self._heap[0][0]
-            if max_cycles is not None and time > max_cycles:
+        window = watchdog.window if watchdog is not None else 0
+        heap = self._heap
+        heappop = heapq.heappop
+        popped = 0
+        try:
+            while heap:
+                time = heap[0][0]
+                if max_cycles is not None and time > max_cycles:
+                    self.now = time
+                    raise SimulationTimeout(
+                        f"simulation exceeded max_cycles={max_cycles} "
+                        f"at cycle {time} with {len(heap)} pending events",
+                        cycle=time, pending_events=len(heap),
+                    )
+                entry = heappop(heap)
                 self.now = time
-                raise SimulationTimeout(
-                    f"simulation exceeded max_cycles={max_cycles} "
-                    f"at cycle {time} with {len(self._heap)} pending events",
-                    cycle=time, pending_events=len(self._heap),
-                )
-            _, _, callback = heapq.heappop(self._heap)
-            self.now = time
-            callback()
-            if (watchdog is not None and watchdog.window
-                    and time - self.last_retire > watchdog.window
-                    and any(not a.finished for a in self._actors)):
-                raise self._diagnose(
-                    f"livelock: no actor retired anything for "
-                    f"{time - self.last_retire} cycles (window="
-                    f"{watchdog.window}) while events kept firing",
-                    kind="livelock",
-                )
+                popped += 1
+                entry[2]()
+                if (window and time - self.last_retire > window
+                        and self._unfinished):
+                    raise self._diagnose(
+                        f"livelock: no actor retired anything for "
+                        f"{time - self.last_retire} cycles (window="
+                        f"{window}) while events kept firing",
+                        kind="livelock",
+                    )
+        finally:
+            self.events_popped += popped
         blocked = [a for a in self._actors if not a.finished]
         if blocked:
             raise self._diagnose(
@@ -336,6 +357,7 @@ class CoreActor:
                 self._purge_wait()
                 self.finished = True
                 self.finish_time = self.engine.now
+                self.engine.note_finish(self)
                 tracer = self.engine.tracer
                 if tracer is not None:
                     tracer.emit("engine", "done", actor=self.name)

@@ -60,6 +60,7 @@ class LifeguardCore(CoreActor):
         self.memsys = memsys
         self.config = config
         self.costs = config.lifeguard_costs
+        self._l1_latency = config.l1_config.access_latency
         self.progress_table = progress_table
         self.ca_hub = ca_hub
         self.version_store = version_store
@@ -295,8 +296,11 @@ class LifeguardCore(CoreActor):
             # configured flushes before the event's handler runs.
             cost += self._accel_conflict_flush(record)
 
+        lifeguard = self.lifeguard
+        iff = self.iff
+        dispatch_cost = self.costs.dispatch_cost
         for event in self.it.process(record):
-            if not self.lifeguard.wants(event):
+            if not lifeguard.wants(event):
                 continue  # no handler registered: hardware drops the event
             if event[0] == "load_versioned" and len(event) == 2:
                 version = self.version_store.consume(record.consume_version[0])
@@ -307,17 +311,18 @@ class LifeguardCore(CoreActor):
                                      actor=self.name, tid=record.tid,
                                      rid=record.rid,
                                      version=record.consume_version[0])
-            key = self.lifeguard.if_key(event)
-            if key is not None and self.iff.check(key, record.rid):
+            key = lifeguard.if_key(event)
+            if key is not None and iff.check(key, record.rid):
                 self.events_filtered += 1
                 continue
-            if (self.lifeguard.if_invalidate_on_write and record.is_write
+            if (lifeguard.if_invalidate_on_write and record.is_write
                     and record.addr is not None):
-                self.iff.invalidate_overlapping(record.addr, record.size)
-            handler_cost, accesses = self.lifeguard.handle(event)
-            cost += self.costs.dispatch_cost + handler_cost
+                iff.invalidate_overlapping(record.addr, record.size)
+            handler_cost, accesses = lifeguard.handle(event)
+            cost += dispatch_cost + handler_cost
             self.events_delivered += 1
-            latency += self._metadata_access_cycles(accesses)
+            if accesses:
+                latency += self._metadata_access_cycles(accesses)
         return cost + latency
 
     def _metadata_access_cycles(self, accesses) -> int:
@@ -328,20 +333,25 @@ class LifeguardCore(CoreActor):
         in-order lifeguard core.
         """
         cycles = 0
+        tracer = self.tracer
+        lookup_cost = self.mtlb.lookup_cost
+        sim_accesses = self.lifeguard.metadata.sim_accesses
+        mem_access = self.memsys.access
+        core_id = self.core_id
+        l1_latency = self._l1_latency
         for app_addr, size, is_write in accesses:
-            if is_write and self.tracer is not None:
-                self.tracer.emit("meta", "write", actor=self.name,
-                                 addr=app_addr, size=size)
-            cycles += self.mtlb.lookup_cost(app_addr)
-            for sim_addr, sim_size, sim_write in (
-                    self.lifeguard.metadata.sim_accesses(app_addr, size,
-                                                         is_write)):
-                access = self.memsys.access(
-                    self.core_id, sim_addr, sim_size, sim_write, 0)
+            if is_write and tracer is not None:
+                tracer.emit("meta", "write", actor=self.name,
+                            addr=app_addr, size=size)
+            cycles += lookup_cost(app_addr)
+            for sim_addr, sim_size, sim_write in sim_accesses(app_addr, size,
+                                                              is_write):
+                access = mem_access(core_id, sim_addr, sim_size, sim_write, 0)
                 # An L1 hit fully pipelines behind the handler's own
                 # instruction; only miss latency stalls the core.
-                cycles += max(0, access.latency
-                              - self.config.l1_config.access_latency)
+                latency = access.latency - l1_latency
+                if latency > 0:
+                    cycles += latency
         return cycles
 
     # -- accelerator flushing ------------------------------------------------------------------

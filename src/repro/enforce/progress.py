@@ -66,8 +66,13 @@ class ProgressTable:
 
     def first_unmet(self, arcs) -> Optional[Tuple[int, int]]:
         """The first unsatisfied (tid, rid) arc, or None if all are met."""
+        values = self._values
         for src_tid, src_rid in arcs:
-            if not self.satisfied(src_tid, src_rid):
+            value = values.get(src_tid)
+            if value is None:
+                raise SimulationError(
+                    f"arc references unknown thread {src_tid}")
+            if value < src_rid:
                 return (src_tid, src_rid)
         return None
 

@@ -21,14 +21,23 @@ class SetAssocCache:
     def __init__(self, config: CacheConfig):
         self.config = config
         self._num_sets = config.num_sets
-        self._sets = [dict() for _ in range(self._num_sets)]
+        # Sets are allocated lazily: workloads touch a tiny fraction of a
+        # realistically-sized tag array, so eager allocation dominates
+        # construction cost for short simulations.
+        self._sets = {}
 
     def _set_for(self, line: int) -> dict:
-        return self._sets[line % self._num_sets]
+        index = line % self._num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = {}
+        return entries
 
     def lookup(self, line: int, touch: bool = True):
         """Return the payload for ``line`` or None; optionally refresh LRU."""
-        entries = self._set_for(line)
+        entries = self._sets.get(line % self._num_sets)
+        if entries is None:
+            return None
         payload = entries.get(line)
         if payload is not None and touch:
             del entries[line]
@@ -49,21 +58,23 @@ class SetAssocCache:
 
     def update(self, line: int, payload) -> None:
         """Replace the payload of a resident line without touching LRU."""
-        entries = self._set_for(line)
-        if line in entries:
+        entries = self._sets.get(line % self._num_sets)
+        if entries is not None and line in entries:
             entries[line] = payload
 
     def invalidate(self, line: int):
         """Drop ``line`` if present; returns the old payload or None."""
-        return self._set_for(line).pop(line, None)
+        entries = self._sets.get(line % self._num_sets)
+        return entries.pop(line, None) if entries is not None else None
 
     def resident_lines(self):
         """Iterate over all (line, payload) pairs (test/debug helper)."""
-        for entries in self._sets:
+        for entries in self._sets.values():
             yield from entries.items()
 
     def __len__(self):
-        return sum(len(entries) for entries in self._sets)
+        return sum(len(entries) for entries in self._sets.values())
 
     def __contains__(self, line: int) -> bool:
-        return line in self._set_for(line)
+        entries = self._sets.get(line % self._num_sets)
+        return entries is not None and line in entries

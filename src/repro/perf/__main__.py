@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` — run the benchmark suite or the perf gate."""
+
+import sys
+
+from repro.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

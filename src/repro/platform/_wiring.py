@@ -38,6 +38,24 @@ def build_thread_programs(workload, machine: Machine) -> List:
     return programs
 
 
+def collect_perf_stats(machine: Machine, lifeguard=None) -> Dict[str, int]:
+    """Hot-path counters for the :mod:`repro.perf` benchmark harness.
+
+    Deterministic, machine-independent measures of how much work a run
+    did: engine events popped, and (for monitored runs) shadow-memory
+    chunk residency/allocation from the lifeguard's metadata map.
+    """
+    perf: Dict[str, int] = {"events_popped": machine.engine.events_popped}
+    if lifeguard is not None:
+        metadata = lifeguard.metadata
+        perf["shadow_chunks_peak"] = metadata.peak_chunks
+        perf["shadow_chunk_allocs"] = metadata.chunk_allocations
+    else:
+        perf["shadow_chunks_peak"] = 0
+        perf["shadow_chunk_allocs"] = 0
+    return perf
+
+
 def collect_core_stats(memsys: CoherentMemorySystem, os_runtime: OSRuntime,
                        captures=(), logs=(), lifeguard_cores=(),
                        ca_hub=None) -> Dict[str, object]:

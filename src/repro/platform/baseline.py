@@ -10,7 +10,12 @@ from repro.cpu.cores import (
     StoreBufferDrainActor,
     TsoStoreBuffer,
 )
-from repro.platform._wiring import Machine, build_thread_programs, collect_core_stats
+from repro.platform._wiring import (
+    Machine,
+    build_thread_programs,
+    collect_core_stats,
+    collect_perf_stats,
+)
 from repro.platform.results import RunResult
 
 
@@ -55,6 +60,8 @@ def run_no_monitoring(workload, config: SimulationConfig = None,
 
     machine.engine.run(max_cycles=max_cycles)
     total = max(core.finish_time for core in cores)
+    stats = collect_core_stats(machine.memsys, machine.os)
+    stats["perf"] = collect_perf_stats(machine)
     return RunResult(
         scheme="no_monitoring",
         workload=workload.name,
@@ -63,5 +70,5 @@ def run_no_monitoring(workload, config: SimulationConfig = None,
         total_cycles=total,
         app_buckets={core.name: core.buckets.as_dict() for core in cores},
         instructions=sum(core.instructions_retired for core in cores),
-        stats=collect_core_stats(machine.memsys, machine.os),
+        stats=stats,
     )

@@ -29,7 +29,12 @@ from repro.enforce.progress import ProgressTable
 from repro.enforce.range_table import SyscallRangeTable
 from repro.enforce.versions import VersionStore
 from repro.isa.instructions import HLEventKind
-from repro.platform._wiring import Machine, build_thread_programs, collect_core_stats
+from repro.platform._wiring import (
+    Machine,
+    build_thread_programs,
+    collect_core_stats,
+    collect_perf_stats,
+)
 from repro.platform.monitor_config import AcceleratorConfig
 from repro.platform.results import RunResult
 
@@ -201,6 +206,7 @@ def run_parallel_monitoring(
         stats["versions_consumed"] = version_store.consumed
     stats["progress_publishes"] = progress.publishes
     stats["syscall_races_flagged"] = range_table.races_flagged
+    stats["perf"] = collect_perf_stats(machine, lifeguard=lifeguard)
     if faults is not None:
         stats["faults_injected"] = faults.describe_injected()
         stats["log_records_lost"] = sum(log.records_lost for log in logs)

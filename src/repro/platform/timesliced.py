@@ -23,7 +23,12 @@ from repro.cpu.os_model import AddressLayout
 from repro.enforce.progress import ProgressTable
 from repro.enforce.range_table import SyscallRangeTable
 from repro.isa.instructions import HLEventKind
-from repro.platform._wiring import Machine, build_thread_programs, collect_core_stats
+from repro.platform._wiring import (
+    Machine,
+    build_thread_programs,
+    collect_core_stats,
+    collect_perf_stats,
+)
 from repro.platform.monitor_config import AcceleratorConfig
 from repro.platform.results import RunResult
 
@@ -132,6 +137,7 @@ def run_timesliced_monitoring(
     )
     stats["context_switches"] = app_core.context_switches
     stats["syscall_races_flagged"] = range_table.races_flagged
+    stats["perf"] = collect_perf_stats(machine, lifeguard=lifeguard)
     if faults is not None:
         stats["faults_injected"] = faults.describe_injected()
         stats["log_records_lost"] = log.records_lost

@@ -323,6 +323,10 @@ class DiffReport:
     verdicts: Dict[str, tuple] = field(default_factory=dict)
     instructions: Dict[str, int] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
+    #: Per-scheme hot-path counters for :mod:`repro.perf`:
+    #: ``{scheme: {"sim_cycles", "events_popped", "shadow_chunks_peak",
+    #: "shadow_chunk_allocs"}}``.
+    perf: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -368,8 +372,13 @@ def differential_check(seed: int, lifeguard: str = "taintcheck",
         report.verdicts[scheme] = verdict_projection(
             results[scheme].violations, lifeguard)
         report.instructions[scheme] = results[scheme].instructions
+        report.perf[scheme] = dict(
+            results[scheme].stats.get("perf", {}),
+            sim_cycles=results[scheme].total_cycles)
     baseline = run_no_monitoring(program.workload(), config)
     report.instructions["no_monitoring"] = baseline.instructions
+    report.perf["no_monitoring"] = dict(
+        baseline.stats.get("perf", {}), sim_cycles=baseline.total_cycles)
 
     # 1. verdict equivalence across monitored schemes
     if report.verdicts["parallel"] != report.verdicts["timesliced"]:

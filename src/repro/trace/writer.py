@@ -79,6 +79,12 @@ def parse_trace_filter(spec: str) -> FrozenSet[str]:
     return frozenset(names)
 
 
+#: Exact types that pass through :func:`_sanitize` unchanged. Exact-type
+#: membership (not isinstance) is deliberate: an IntEnum *is* an int but
+#: must still be sanitized to its name.
+_PASSTHROUGH_TYPES = frozenset((int, float, str, bool, type(None)))
+
+
 def _sanitize(value):
     """Coerce one field value to a JSON-stable scalar (or list thereof)."""
     if isinstance(value, enum.Enum):
@@ -159,8 +165,9 @@ class TraceWriter:
             "cat": cat,
             "event": event,
         }
+        passthrough = _PASSTHROUGH_TYPES
         for key, value in fields.items():
-            payload[key] = _sanitize(value)
+            payload[key] = value if type(value) in passthrough else _sanitize(value)
         self.emitted += 1
         if self.events is not None:
             self.events.append(payload)

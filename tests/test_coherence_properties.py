@@ -26,20 +26,19 @@ _access = st.tuples(
 
 
 def _check_invariants(memsys):
-    for entries in memsys._l2._sets:
-        for line, entry in entries.items():
-            holders = {}
-            for core in range(N_CORES):
-                state = memsys._l1[core].lookup(line, touch=False)
-                if state is not None:
-                    holders[core] = state
-            exclusive = [c for c, s in holders.items() if s in ("M", "E")]
-            assert len(exclusive) <= 1, "multiple M/E holders"
-            if exclusive:
-                assert len(holders) == 1, "M/E coexists with other copies"
-                assert entry.owner == exclusive[0]
-            # Directory sharers must cover every actual holder.
-            assert set(holders) <= entry.sharers
+    for line, entry in memsys._l2.resident_lines():
+        holders = {}
+        for core in range(N_CORES):
+            state = memsys._l1[core].lookup(line, touch=False)
+            if state is not None:
+                holders[core] = state
+        exclusive = [c for c, s in holders.items() if s in ("M", "E")]
+        assert len(exclusive) <= 1, "multiple M/E holders"
+        if exclusive:
+            assert len(holders) == 1, "M/E coexists with other copies"
+            assert entry.owner == exclusive[0]
+        # Directory sharers must cover every actual holder.
+        assert set(holders) <= entry.sharers
     # Inclusion: every L1-resident line exists in the L2.
     for core in range(N_CORES):
         for line, _state in memsys._l1[core].resident_lines():

@@ -75,6 +75,61 @@ class TestEngine:
         assert exc.value.pending_events == 1
         assert len(engine._heap) == 1
 
+    def test_timeout_pending_events_agree_with_heap_and_crash_report(self):
+        # SimulationTimeout accounting audit: the budget-tripping event
+        # stays on the heap, pending_events counts it, and the crash
+        # report sees exactly the same number.
+        from repro.platform.results import crash_report
+
+        engine = Engine()
+
+        class Countdown(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "c")
+                self.left = 5
+            def step(self):
+                if not self.left:
+                    return ("done",)
+                self.left -= 1
+                return ("delay", 10, "x")
+
+        actor = Countdown(engine)
+        actor.start()
+        with pytest.raises(SimulationTimeout) as exc:
+            engine.run(max_cycles=25)
+        assert exc.value.pending_events == len(engine._heap) == 1
+        assert engine.now == exc.value.cycle == 30
+        report = crash_report(exc.value)
+        assert report["pending_events"] == len(engine._heap)
+
+    def test_timeout_run_resumes_by_executing_tripping_event(self):
+        # A second run() call with a larger (or no) budget must resume
+        # from the committed time, execute the event that tripped the
+        # budget, and complete without losing or duplicating work.
+        engine = Engine()
+
+        class Countdown(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "c")
+                self.left = 5
+                self.steps = []
+            def step(self):
+                if not self.left:
+                    return ("done",)
+                self.left -= 1
+                self.steps.append(self.engine.now)
+                return ("delay", 10, "x")
+
+        actor = Countdown(engine)
+        actor.start()
+        with pytest.raises(SimulationTimeout):
+            engine.run(max_cycles=25)
+        assert engine.run() == 50  # resumes and completes
+        assert actor.finished
+        assert actor.steps == [0, 10, 20, 30, 40]  # no step lost/duplicated
+        assert actor.buckets.get("x") == 50
+        assert len(engine._heap) == 0
+
     def test_unknown_action_raises(self):
         engine = Engine()
         ScriptedActor(engine, "a", [("bogus",)]).start()
@@ -273,6 +328,63 @@ class TestWatchdogAndDiagnostics:
         assert find_cycle({"a": ["b"], "b": ["c"], "c": []}) is None
         cycle = find_cycle({"a": ["b"], "b": ["a"]})
         assert cycle[0] == cycle[-1] and set(cycle) == {"a", "b"}
+
+    def test_unfinished_counter_tracks_actor_scan_exactly(self):
+        # The O(1) watchdog liveness check must agree with the O(actors)
+        # scan it replaced at every single event pop.
+        engine = Engine()
+        actors = [ScriptedActor(engine, f"a{i}", [("delay", 5 * (i + 1), "x")])
+                  for i in range(4)]
+        for actor in actors:
+            actor.start()
+        samples = []
+
+        def sample():
+            scan = sum(1 for a in engine._actors if not a.finished)
+            samples.append((engine._unfinished, scan))
+            if len(samples) < 20:
+                engine.schedule(3, sample)
+
+        engine.schedule(0, sample)
+        engine.run()
+        assert samples and all(fast == scan for fast, scan in samples)
+        assert engine._unfinished == 0
+
+    def test_no_livelock_after_all_actors_finished(self):
+        # Stray scheduled callbacks may keep the heap busy long past the
+        # watchdog window after every actor finished; the pre-counter
+        # scan (any(not a.finished)) stayed quiet here and the O(1)
+        # counter must too.
+        engine = Engine(watchdog=Watchdog(window=50))
+        ScriptedActor(engine, "a", [("delay", 1, "x")]).start()
+
+        ticks = []
+
+        def tick(n):
+            ticks.append(n)
+            if n:
+                engine.schedule(40, lambda: tick(n - 1))
+
+        engine.schedule(2, lambda: tick(10))
+        engine.run()  # must not raise livelock
+        assert len(ticks) == 11
+
+    def test_livelock_diagnostics_identical_shape(self):
+        # The counter-based check fires with the same kind, message shape
+        # and waiting-actor set as the scan-based one did.
+        engine = Engine(watchdog=Watchdog(window=100))
+
+        class Spinner(CoreActor):
+            def step(self):
+                return ("delay", 10, "spin")
+
+        Spinner(engine, "s1").start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(max_cycles=100_000)
+        assert exc.value.kind == "livelock"
+        assert "no actor retired anything" in str(exc.value)
+        assert "window=100" in str(exc.value)
+        assert set(exc.value.waiting) == {"s1"}
 
     def test_deadlock_error_str_renders_waiting_and_cycle(self):
         engine = Engine()
