@@ -6,6 +6,9 @@ Commands:
 * ``run`` — run one workload under one scheme/lifeguard and print the
   result summary, time breakdown and any violations.
 * ``figure6`` / ``figure7`` / ``figure8`` — regenerate a paper figure.
+* ``diff`` — the cross-scheme differential sweep (``--jobs N`` fans
+  cells over worker processes; ``--checkpoint``/``--resume`` make an
+  interrupted sweep restartable).
 * ``headline`` — the abstract's three claims.
 * ``swaptions`` — the Section 7 swaptions analysis.
 * ``perf`` — the benchmark harness / regression gate (forwards to
@@ -28,7 +31,12 @@ from repro.common.config import CaptureMode, MemoryModel, ScalePreset, \
 from repro.common.errors import ConfigurationError, SimulationError, \
     SimulationTimeout
 from repro.cpu.engine import Watchdog
-from repro.faults import FaultPlan, parse_fault_spec
+from repro.faults import (
+    EXIT_ABNORMAL,
+    EXIT_BUDGET_EXCEEDED,
+    FaultPlan,
+    parse_fault_spec,
+)
 from repro.eval import (
     figure6,
     figure7,
@@ -78,6 +86,12 @@ def _add_sweep(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=[s.value for s in ScalePreset],
                         default="tiny")
     parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent sweep cells "
+                             "(default 1: serial, bit-identical output)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,9 +154,34 @@ def build_parser() -> argparse.ArgumentParser:
         _add_sweep(sub.add_parser(name, help=f"regenerate {name}"))
         sub.choices[name].add_argument(
             "--thread-counts", type=int, nargs="*", default=None)
+        _add_jobs(sub.choices[name])
 
     fig8 = sub.add_parser("figure8", help="regenerate figure 8")
     _add_sweep(fig8)
+    _add_jobs(fig8)
+
+    diff = sub.add_parser(
+        "diff", help="cross-scheme differential sweep over seeded racy "
+                     "programs (repro.trace.diff)")
+    diff.add_argument("--seeds", type=int, default=25, metavar="N",
+                      help="run seeds 0..N-1 (default 25)")
+    diff.add_argument("--lifeguards", nargs="*", default=None,
+                      choices=sorted(LIFEGUARDS),
+                      help="lifeguard subset (default: all)")
+    diff.add_argument("--threads", type=int, default=2)
+    diff.add_argument("--length", type=int, default=18,
+                      help="random ops per thread script (default 18)")
+    diff.add_argument("--output", metavar="PATH", default=None,
+                      help="write the merged report payloads as JSON")
+    _add_jobs(diff)
+    diff.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="JSONL checkpoint for interrupted-sweep resume")
+    diff.add_argument("--resume", action="store_true",
+                      help="skip cells already in --checkpoint")
+    diff.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="per-cell wall-clock timeout (workers only)")
+    diff.add_argument("--retries", type=int, default=1,
+                      help="extra attempts per failing cell (default 1)")
 
     headline = sub.add_parser("headline", help="the abstract's claims")
     _add_sweep(headline)
@@ -230,7 +269,8 @@ def _cmd_run(args) -> int:
         if args.crash_report:
             path = write_crash_report(exc, args.crash_report, tracer=tracer)
             print(f"crash report written to {path}", file=sys.stderr)
-        return 4 if isinstance(exc, SimulationTimeout) else 3
+        return (EXIT_BUDGET_EXCEEDED if isinstance(exc, SimulationTimeout)
+                else EXIT_ABNORMAL)
     finally:
         if tracer is not None:
             tracer.close()
@@ -254,6 +294,37 @@ def _cmd_run(args) -> int:
         print()
         print(format_table(["stat", "value"], rows))
     return 0
+
+
+def _cmd_diff(args) -> int:
+    """The differential sweep as a first-class subcommand.
+
+    Exit codes: 0 all cells ok, 1 verdict/oracle divergence or a sweep
+    cell failing terminally in a worker.
+    """
+    import json
+
+    from repro.trace.diff import differential_sweep, report_payload
+
+    try:
+        reports = differential_sweep(
+            range(args.seeds), lifeguards=args.lifeguards or None,
+            nthreads=args.threads, length=args.length, jobs=args.jobs,
+            checkpoint_path=args.checkpoint, resume=args.resume,
+            timeout=args.timeout, retries=args.retries)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump([report_payload(report) for report in reports],
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    bad = [report for report in reports if not report.ok]
+    for report in bad:
+        print(report.summary())
+    print(f"differential sweep: {len(reports)} cells, {len(bad)} failed")
+    return 1 if bad else 0
 
 
 def main(argv=None) -> int:
@@ -287,6 +358,9 @@ def main(argv=None) -> int:
     if args.command == "run":
         return _cmd_run(args)
 
+    if args.command == "diff":
+        return _cmd_diff(args)
+
     if args.command == "swaptions":
         print(render_mapping(
             "Section 7 swaptions analysis",
@@ -301,17 +375,18 @@ def main(argv=None) -> int:
         counts = tuple(args.thread_counts
                        or [t for t in (1, 2, 4, 8) if t <= args.max_threads])
         print(render_figure6(figure6(args.lifeguard, benches, counts, scale,
-                                     args.seed)))
+                                     args.seed, jobs=args.jobs)))
         return 0
     if args.command == "figure7":
         counts = tuple(args.thread_counts
                        or [t for t in (1, 2, 4, 8) if t <= args.max_threads])
         print(render_figure7(figure7(args.lifeguard, benches, counts, scale,
-                                     args.seed)))
+                                     args.seed, jobs=args.jobs)))
         return 0
     if args.command == "figure8":
         print(render_figure8(figure8(args.lifeguard, benches,
-                                     args.max_threads, scale, args.seed)))
+                                     args.max_threads, scale, args.seed,
+                                     jobs=args.jobs)))
         return 0
     if args.command == "headline":
         summary = headline_summary(benches, args.max_threads, scale,

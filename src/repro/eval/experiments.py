@@ -100,37 +100,82 @@ class Figure6Result:
         return out
 
 
+def _figure6_cell(payload: dict) -> Dict[str, int]:
+    """``repro.jobs`` worker: one (benchmark, threads) Figure 6 cell."""
+    lifeguard = _lifeguard(payload["lifeguard"])
+    benchmark = payload["benchmark"]
+    threads = payload["threads"]
+    scale = ScalePreset(payload["scale"])
+    seed = payload["seed"]
+    config = _config(threads)
+    base = run_no_monitoring(
+        build_workload(benchmark, threads, scale, seed), config)
+    timesliced = run_timesliced_monitoring(
+        build_workload(benchmark, threads, scale, seed), lifeguard, config)
+    parallel = run_parallel_monitoring(
+        build_workload(benchmark, threads, scale, seed), lifeguard, config)
+    return {
+        "no_monitoring": base.total_cycles,
+        "timesliced": timesliced.total_cycles,
+        "parallel": parallel.total_cycles,
+    }
+
+
+def _run_cells(figure: str, worker, payloads: List[dict], jobs: int,
+               tracer=None) -> List[dict]:
+    """Run figure cells serially (``jobs=1``: plain in-process calls,
+    the historical path) or through the :mod:`repro.jobs` executor.
+    Results come back in the canonical ``payloads`` order either way —
+    the simulator is deterministic per seed, so both paths produce
+    identical cell values."""
+    if jobs == 1:
+        return [worker(payload) for payload in payloads]
+
+    from repro.jobs import Job, run_jobs
+
+    job_list = [
+        Job(f"{figure}:{p['lifeguard']}:{p['benchmark']}"
+            f":t{p.get('threads', 0)}:s{p['seed']}", p)
+        for p in payloads
+    ]
+    results = run_jobs(job_list, worker, nworkers=jobs, tracer=tracer)
+    values = []
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"{figure} cell {result.job_id} failed "
+                f"({result.status}, exit {result.exit_code}): {result.error}")
+        values.append(result.value)
+    return values
+
+
 def figure6(lifeguard_name: str,
             benchmarks: Iterable[str] = PAPER_BENCHMARKS,
             thread_counts: Iterable[int] = DEFAULT_THREADS,
             scale: ScalePreset = ScalePreset.TINY,
-            seed: int = 1) -> Figure6Result:
+            seed: int = 1, jobs: int = 1, tracer=None) -> Figure6Result:
     """Regenerate Figure 6 for one lifeguard.
 
     For k application threads the NO MONITORING, TIMESLICED and PARALLEL
     schemes run on 2k, 2 and 2k cores respectively, exactly as the paper
     configures them; times are normalized to the application running
-    sequentially without monitoring.
+    sequentially without monitoring. ``jobs=N`` fans the
+    benchmark × thread-count cells out over worker processes.
     """
-    lifeguard = _lifeguard(lifeguard_name)
+    _lifeguard(lifeguard_name)  # fail fast on unknown names
+    benchmarks = tuple(benchmarks)
+    thread_counts = tuple(thread_counts)
+    payloads = [
+        {"lifeguard": lifeguard_name, "benchmark": benchmark,
+         "threads": threads, "scale": scale.value, "seed": seed}
+        for benchmark in benchmarks for threads in thread_counts
+    ]
+    cells = _run_cells("figure6", _figure6_cell, payloads, jobs, tracer)
     result = Figure6Result(lifeguard=lifeguard_name, scale=scale)
+    for payload, cell in zip(payloads, cells):
+        result.cycles.setdefault(payload["benchmark"], {})[
+            payload["threads"]] = cell
     for benchmark in benchmarks:
-        result.cycles[benchmark] = {}
-        for threads in thread_counts:
-            config = _config(threads)
-            base = run_no_monitoring(
-                build_workload(benchmark, threads, scale, seed), config)
-            timesliced = run_timesliced_monitoring(
-                build_workload(benchmark, threads, scale, seed),
-                lifeguard, config)
-            parallel = run_parallel_monitoring(
-                build_workload(benchmark, threads, scale, seed),
-                lifeguard, config)
-            result.cycles[benchmark][threads] = {
-                "no_monitoring": base.total_cycles,
-                "timesliced": timesliced.total_cycles,
-                "parallel": parallel.total_cycles,
-            }
         result.base[benchmark] = result.cycles[benchmark][
             min(thread_counts)]["no_monitoring"]
     return result
@@ -163,36 +208,49 @@ class Figure7Result:
         return out
 
 
+def _figure7_cell(payload: dict) -> Dict[str, float]:
+    """``repro.jobs`` worker: one (benchmark, threads) Figure 7 cell."""
+    lifeguard = _lifeguard(payload["lifeguard"])
+    benchmark = payload["benchmark"]
+    threads = payload["threads"]
+    scale = ScalePreset(payload["scale"])
+    seed = payload["seed"]
+    config = _config(threads)
+    base = run_no_monitoring(
+        build_workload(benchmark, threads, scale, seed), config)
+    parallel = run_parallel_monitoring(
+        build_workload(benchmark, threads, scale, seed), lifeguard, config)
+    slowdown = parallel.total_cycles / base.total_cycles
+    fractions = parallel.lifeguard_breakdown()
+    return {
+        "slowdown": slowdown,
+        # Stacked bars: each component as its share of the bar.
+        "useful": slowdown * fractions.get("useful", 0.0),
+        "wait_dependence": slowdown * fractions.get("wait_dependence", 0.0),
+        "wait_application": slowdown * fractions.get("wait_application", 0.0),
+    }
+
+
 def figure7(lifeguard_name: str,
             benchmarks: Iterable[str] = PAPER_BENCHMARKS,
             thread_counts: Iterable[int] = DEFAULT_THREADS,
             scale: ScalePreset = ScalePreset.TINY,
-            seed: int = 1) -> Figure7Result:
+            seed: int = 1, jobs: int = 1, tracer=None) -> Figure7Result:
     """Regenerate Figure 7: parallel-monitoring slowdown decomposed into
     useful work, waiting-for-dependence and waiting-for-application,
     normalized to the same-thread-count unmonitored run."""
-    lifeguard = _lifeguard(lifeguard_name)
+    _lifeguard(lifeguard_name)
+    payloads = [
+        {"lifeguard": lifeguard_name, "benchmark": benchmark,
+         "threads": threads, "scale": scale.value, "seed": seed}
+        for benchmark in tuple(benchmarks)
+        for threads in tuple(thread_counts)
+    ]
+    cells = _run_cells("figure7", _figure7_cell, payloads, jobs, tracer)
     result = Figure7Result(lifeguard=lifeguard_name, scale=scale)
-    for benchmark in benchmarks:
-        result.breakdown[benchmark] = {}
-        for threads in thread_counts:
-            config = _config(threads)
-            base = run_no_monitoring(
-                build_workload(benchmark, threads, scale, seed), config)
-            parallel = run_parallel_monitoring(
-                build_workload(benchmark, threads, scale, seed),
-                lifeguard, config)
-            slowdown = parallel.total_cycles / base.total_cycles
-            fractions = parallel.lifeguard_breakdown()
-            result.breakdown[benchmark][threads] = {
-                "slowdown": slowdown,
-                # Stacked bars: each component as its share of the bar.
-                "useful": slowdown * fractions.get("useful", 0.0),
-                "wait_dependence": slowdown * fractions.get(
-                    "wait_dependence", 0.0),
-                "wait_application": slowdown * fractions.get(
-                    "wait_application", 0.0),
-            }
+    for payload, cell in zip(payloads, cells):
+        result.breakdown.setdefault(payload["benchmark"], {})[
+            payload["threads"]] = cell
     return result
 
 
@@ -225,12 +283,40 @@ class Figure8Result:
         return out
 
 
+def _figure8_cell(payload: dict) -> Dict[str, float]:
+    """``repro.jobs`` worker: one per-benchmark Figure 8 cell."""
+    lifeguard = _lifeguard(payload["lifeguard"])
+    benchmark = payload["benchmark"]
+    threads = payload["threads"]
+    scale = ScalePreset(payload["scale"])
+    seed = payload["seed"]
+    base = run_no_monitoring(
+        build_workload(benchmark, threads, scale, seed),
+        _config(threads)).total_cycles
+    cell: Dict[str, float] = {}
+    not_accel = run_parallel_monitoring(
+        build_workload(benchmark, threads, scale, seed), lifeguard,
+        _config(threads), accel=AcceleratorConfig.all_off())
+    cell["not_accelerated"] = not_accel.total_cycles / base
+    if payload["include_limited"]:
+        limited = run_parallel_monitoring(
+            build_workload(benchmark, threads, scale, seed), lifeguard,
+            _config(threads, capture_mode=CaptureMode.PER_CORE))
+        cell["accelerated_limited"] = limited.total_cycles / base
+    aggressive = run_parallel_monitoring(
+        build_workload(benchmark, threads, scale, seed), lifeguard,
+        _config(threads))
+    cell["accelerated_aggressive"] = aggressive.total_cycles / base
+    return cell
+
+
 def figure8(lifeguard_name: str,
             benchmarks: Iterable[str] = PAPER_BENCHMARKS,
             threads: int = 8,
             scale: ScalePreset = ScalePreset.TINY,
             seed: int = 1,
-            include_limited: Optional[bool] = None) -> Figure8Result:
+            include_limited: Optional[bool] = None,
+            jobs: int = 1, tracer=None) -> Figure8Result:
     """Regenerate Figure 8 for one lifeguard at a fixed thread count.
 
     Variants: NOT ACCELERATED (aggressive per-block dependence
@@ -239,30 +325,20 @@ def figure8(lifeguard_name: str,
     The paper shows the limited-reduction bar for TaintCheck only; pass
     ``include_limited`` to override.
     """
-    lifeguard = _lifeguard(lifeguard_name)
+    _lifeguard(lifeguard_name)
     if include_limited is None:
         include_limited = lifeguard_name == "taintcheck"
+    payloads = [
+        {"lifeguard": lifeguard_name, "benchmark": benchmark,
+         "threads": threads, "scale": scale.value, "seed": seed,
+         "include_limited": include_limited}
+        for benchmark in tuple(benchmarks)
+    ]
+    cells = _run_cells("figure8", _figure8_cell, payloads, jobs, tracer)
     result = Figure8Result(lifeguard=lifeguard_name, threads=threads,
                            scale=scale)
-    for benchmark in benchmarks:
-        base = run_no_monitoring(
-            build_workload(benchmark, threads, scale, seed),
-            _config(threads)).total_cycles
-        cell: Dict[str, float] = {}
-        not_accel = run_parallel_monitoring(
-            build_workload(benchmark, threads, scale, seed), lifeguard,
-            _config(threads), accel=AcceleratorConfig.all_off())
-        cell["not_accelerated"] = not_accel.total_cycles / base
-        if include_limited:
-            limited = run_parallel_monitoring(
-                build_workload(benchmark, threads, scale, seed), lifeguard,
-                _config(threads, capture_mode=CaptureMode.PER_CORE))
-            cell["accelerated_limited"] = limited.total_cycles / base
-        aggressive = run_parallel_monitoring(
-            build_workload(benchmark, threads, scale, seed), lifeguard,
-            _config(threads))
-        cell["accelerated_aggressive"] = aggressive.total_cycles / base
-        result.slowdowns[benchmark] = cell
+    for payload, cell in zip(payloads, cells):
+        result.slowdowns[payload["benchmark"]] = cell
     return result
 
 

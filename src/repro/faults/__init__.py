@@ -15,5 +15,13 @@ from repro.faults.plan import (
     parse_fault_spec,
 )
 
-__all__ = ["FAULT_SITES", "Fault", "FaultPlan", "SITE_ACTIONS",
-           "parse_fault_spec"]
+#: Process exit-code conventions shared across the harness: the ``run``
+#: CLI exits 3 on a diagnosed deadlock/livelock and 4 on an exceeded
+#: cycle budget, and the parallel sweep executor (:mod:`repro.jobs`)
+#: reuses the same codes for a crashed worker (abnormal death, 3) and a
+#: per-job wall-clock timeout (budget overrun, 4).
+EXIT_ABNORMAL = 3
+EXIT_BUDGET_EXCEEDED = 4
+
+__all__ = ["EXIT_ABNORMAL", "EXIT_BUDGET_EXCEEDED", "FAULT_SITES", "Fault",
+           "FaultPlan", "SITE_ACTIONS", "parse_fault_spec"]

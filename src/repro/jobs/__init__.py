@@ -1,0 +1,35 @@
+"""Parallel sweep executor: deterministic fan-out over worker processes.
+
+See :mod:`repro.jobs.runner` for the execution model (deterministic
+merge order, crash isolation, timeouts, bounded retries) and
+:mod:`repro.jobs.checkpoint` for the JSONL checkpoint/resume format.
+The sweep surfaces that use it — ``repro.trace.diff`` seed sweeps, the
+``repro.perf`` scenario matrix, the ``repro.eval.experiments`` figure
+loops — all expose it as ``--jobs N`` (default 1: the historical
+serial path, bit-identical output).
+"""
+
+from repro.jobs.checkpoint import CheckpointWriter, load_checkpoint
+from repro.jobs.runner import (
+    EXIT_CRASHED,
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    Job,
+    JobResult,
+    JobRunner,
+    run_jobs,
+)
+
+__all__ = [
+    "CheckpointWriter",
+    "EXIT_CRASHED",
+    "EXIT_ERROR",
+    "EXIT_OK",
+    "EXIT_TIMEOUT",
+    "Job",
+    "JobResult",
+    "JobRunner",
+    "load_checkpoint",
+    "run_jobs",
+]

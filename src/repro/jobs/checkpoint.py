@@ -1,0 +1,71 @@
+"""JSONL sweep checkpoints.
+
+One line per *terminal* job result, appended and flushed as each job
+finishes, so an interrupted sweep loses at most the jobs that were
+still in flight. The format is the ``JobResult.to_json()`` dict; the
+``job_id`` field keys resume. Lines are append-only — if a job somehow
+appears twice (e.g. a sweep re-run into the same file without
+``resume``), the *last* line wins, matching "latest run wins".
+
+A truncated final line (the process died mid-write) is tolerated and
+ignored; anything else malformed raises, because silently dropping a
+checkpointed result would make ``--resume`` quietly recompute — or
+worse, quietly *skip* — work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+
+class CheckpointWriter:
+    """Append-only JSONL writer for terminal job results."""
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._stream = open(path, "a")
+
+    def append(self, payload: dict) -> None:
+        self._stream.write(json.dumps(payload, separators=(",", ":"),
+                                      sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def load_checkpoint(path: str) -> Dict[str, dict]:
+    """Read a checkpoint file into ``{job_id: result_json}``.
+
+    A missing file is an empty checkpoint (first run of a sweep started
+    with ``--resume`` unconditionally). Only the file's final line may
+    be truncated; see the module docstring.
+    """
+    results: Dict[str, dict] = {}
+    if not os.path.exists(path):
+        return results
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn final write: that job simply re-runs
+            raise ValueError(
+                f"{path}:{lineno}: corrupt checkpoint line") from None
+        if not isinstance(payload, dict) or "job_id" not in payload \
+                or "status" not in payload:
+            raise ValueError(f"{path}:{lineno}: not a job result: {line!r}")
+        results[payload["job_id"]] = payload
+    return results

@@ -82,6 +82,25 @@ class AddrCheck(Lifeguard):
                 )
             return (costs.handler_body_cost, [(rec.addr, rec.size, False)])
 
+        if kind == "load_versioned":
+            # TSO versioned load: the access check runs against the
+            # metadata version the load is ordered with, not the current
+            # (possibly already-freed-and-remapped) allocation state.
+            rec, (snap_base, _snap_len, snapshot) = event[1], event[2]
+            if not self.in_heap(rec.addr):
+                return (1, [])
+            allocated = all(
+                0 <= rec.addr + i - snap_base < len(snapshot)
+                and snapshot[rec.addr + i - snap_base] == ALLOCATED
+                for i in range(rec.size))
+            if not allocated:
+                self.violation(
+                    "unallocated-access", rec.tid, rec.rid,
+                    f"{kind} of {rec.size} bytes at {rec.addr:#x}",
+                )
+            return (costs.handler_body_cost + 2,
+                    [(rec.addr, rec.size, False)])
+
         if kind == "mem_inherit":
             # Only reachable if IT were enabled; check every endpoint.
             _, dst, size, sources, _live_regs, rec = event
@@ -101,7 +120,7 @@ class AddrCheck(Lifeguard):
             return self._handle_highlevel(event[1])
 
         # Register-only traffic carries no allocation information.
-        return (1, [])
+        return self.unhandled(event)
 
     def if_key(self, event):
         """Heap access checks are idempotent between allocation events.

@@ -107,6 +107,13 @@ class Lifeguard:
         self.violations: List[Violation] = []
         #: Shared syscall range table, injected by the platform.
         self.range_table = None
+        #: Event kinds that fell through to the terminal default return.
+        #: ``wants()`` and ``handle()`` must agree: every kind a lifeguard
+        #: registers for has to reach a real handler arm, otherwise the
+        #: event is silently dropped at full dispatch cost (the LockSet
+        #: TSO ``load_versioned`` bug). The parity test asserts this set
+        #: stays empty for every wanted event kind.
+        self.unhandled_kinds = set()
 
     # -- subclass contract ---------------------------------------------------------
 
@@ -126,6 +133,17 @@ class Lifeguard:
     def if_key(self, event: tuple):
         """Idempotent-Filter key for a filterable check event (or None)."""
         return None
+
+    def unhandled(self, event: tuple) -> Tuple[int, list]:
+        """Terminal default for ``handle()``: no registered handler arm.
+
+        Subclasses route their final fall-through here instead of a bare
+        ``return (1, [])`` so tests can detect a ``wants()``/``handle()``
+        mismatch — an event kind the lifeguard subscribed to but silently
+        drops.
+        """
+        self.unhandled_kinds.add(event[0])
+        return (1, [])
 
     # -- shared helpers -------------------------------------------------------------
 

@@ -139,7 +139,7 @@ class LockSet(Lifeguard):
     def handle(self, event):
         kind = event[0]
 
-        if kind in ("load", "store", "rmw", "mem_inherit"):
+        if kind in ("load", "store", "rmw", "mem_inherit", "load_versioned"):
             if kind == "mem_inherit":
                 _, dst, size, sources, _live_regs, rec = event
                 cost = 0
@@ -150,6 +150,12 @@ class LockSet(Lifeguard):
                 cost += self._update(rec.tid, rec, dst, True)
                 accesses.append((dst, size, True))
                 return (cost, accesses)
+            # A TSO versioned load is still an application *read* of the
+            # word: the Eraser state machine must run (a read can shrink
+            # the candidate lockset and trip the race check). LockSet's
+            # semantic state lives in its own word table, not the shadow
+            # MetadataMap, so the metadata snapshot carried by the event
+            # plays no role here.
             rec = event[1]
             is_write = kind in ("store", "rmw")
             cost = self._update(rec.tid, rec, rec.addr, is_write)
@@ -177,4 +183,4 @@ class LockSet(Lifeguard):
                 return (self.range_cost(sum(r[1] for r in rec.ranges) or 1), [])
             return (2, [])
 
-        return (1, [])
+        return self.unhandled(event)

@@ -192,7 +192,7 @@ class MemCheck(Lifeguard):
         if kind == "hl":
             return self._handle_highlevel(event[1])
 
-        return (1, [])
+        return self.unhandled(event)
 
     def _handle_highlevel(self, rec):
         phase = hl_phase_of(rec)

@@ -175,7 +175,7 @@ class TaintCheck(Lifeguard):
         if kind == "hl":
             return self._handle_highlevel(event[1])
 
-        return (1, [])
+        return self.unhandled(event)
 
     # -- high-level events -------------------------------------------------------------
 

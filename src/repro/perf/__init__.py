@@ -259,11 +259,49 @@ def run_scenario(fn: Callable, repeats: int = 3) -> Dict[str, object]:
     }
 
 
-def run_suite(suite: str = "quick", repeats: int = 3) -> Dict[str, object]:
-    """Run every scenario in ``suite``; returns the suite result dict."""
-    scenarios = {}
-    for name, fn in _suite_scenarios(suite).items():
-        scenarios[name] = run_scenario(fn, repeats=repeats)
+def _scenario_job(payload: dict) -> dict:
+    """``repro.jobs`` worker: one scenario cell of the suite matrix.
+
+    The scenario callable is re-resolved from the suite table *inside*
+    the worker (callables don't cross process boundaries); everything in
+    the returned dict except ``wall_seconds`` is deterministic.
+    """
+    fn = _suite_scenarios(payload["suite"])[payload["name"]]
+    return run_scenario(fn, repeats=payload["repeats"])
+
+
+def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
+              checkpoint_path: Optional[str] = None, resume: bool = False,
+              tracer=None) -> Dict[str, object]:
+    """Run every scenario in ``suite``; returns the suite result dict.
+
+    ``jobs=1`` (the default) is the historical in-process loop and keeps
+    ``BENCH_perf.json`` bit-identical; ``jobs=N`` fans the scenario
+    matrix out over the :mod:`repro.jobs` executor (wall-clock numbers
+    are then measured inside each worker, so rates stay meaningful).
+    """
+    if jobs == 1 and checkpoint_path is None and not resume:
+        scenarios = {}
+        for name, fn in _suite_scenarios(suite).items():
+            scenarios[name] = run_scenario(fn, repeats=repeats)
+    else:
+        from repro.jobs import Job, run_jobs
+
+        names = list(_suite_scenarios(suite))
+        results = run_jobs(
+            [Job(f"{suite}:{name}",
+                 {"suite": suite, "name": name, "repeats": repeats})
+             for name in names],
+            _scenario_job, nworkers=jobs, checkpoint_path=checkpoint_path,
+            resume=resume, tracer=tracer)
+        scenarios = {}
+        for name, result in zip(names, results):
+            if not result.ok:
+                raise RuntimeError(
+                    f"perf scenario {result.job_id} failed "
+                    f"({result.status}, exit {result.exit_code}): "
+                    f"{result.error}")
+            scenarios[name] = result.value
     return {
         "scenarios": scenarios,
         "wall_seconds_total": round(
@@ -271,12 +309,16 @@ def run_suite(suite: str = "quick", repeats: int = 3) -> Dict[str, object]:
     }
 
 
-def build_report(suites=("quick",), repeats: int = 3) -> Dict[str, object]:
+def build_report(suites=("quick",), repeats: int = 3, jobs: int = 1,
+                 checkpoint_path: Optional[str] = None,
+                 resume: bool = False) -> Dict[str, object]:
     """Full machine-readable report (the ``BENCH_perf.json`` payload)."""
     return {
         "schema": SCHEMA,
         "calibration_seconds": round(calibrate(), 4),
-        "suites": {suite: run_suite(suite, repeats=repeats)
+        "suites": {suite: run_suite(suite, repeats=repeats, jobs=jobs,
+                                    checkpoint_path=checkpoint_path,
+                                    resume=resume)
                    for suite in suites},
     }
 
@@ -392,13 +434,22 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="wall-clock repetitions per scenario "
                              "(best-of; default 3)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the scenario matrix "
+                             "(default 1: serial, bit-identical output)")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="JSONL checkpoint for interrupted-run resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip scenarios already in --checkpoint")
     args = parser.parse_args(argv)
 
     suites = SUITES if args.suite == "all" else (args.suite,)
     baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
     regen = os.environ.get("REGEN_BASELINE") == "1"
 
-    report = build_report(suites=suites, repeats=args.repeats)
+    report = build_report(suites=suites, repeats=args.repeats,
+                          jobs=args.jobs, checkpoint_path=args.checkpoint,
+                          resume=args.resume)
     for suite in suites:
         print(format_suite(suite, report["suites"][suite]))
     print(f"calibration: {report['calibration_seconds']:.4f}s")

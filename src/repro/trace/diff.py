@@ -60,9 +60,13 @@ __all__ = [
     "DiffReport",
     "RacyProgram",
     "SHARED_SLOTS",
+    "diff_job",
     "differential_check",
     "differential_sweep",
     "lifeguard_factory",
+    "report_from_payload",
+    "report_payload",
+    "sweep_jobs",
     "verdict_projection",
 ]
 
@@ -460,11 +464,108 @@ def _check_planted(program: RacyProgram, lifeguard_name: str,
     return []
 
 
-def differential_sweep(seeds, lifeguards=None, nthreads: int = 2,
-                       length: int = 18) -> List[DiffReport]:
-    """Run :func:`differential_check` over a seed range; returns all
-    reports (callers assert ``all(r.ok for r in reports)``)."""
+def report_payload(report: DiffReport) -> dict:
+    """A :class:`DiffReport` as pure JSON types.
+
+    This is the *canonical* serialized form: it crosses the worker
+    process boundary, lands in sweep checkpoints and result files, and
+    is what the byte-identical parallel-vs-serial test compares.
+    """
+    import json
+
+    return json.loads(json.dumps({
+        "seed": report.seed,
+        "lifeguard": report.lifeguard,
+        "nthreads": report.nthreads,
+        "verdicts": report.verdicts,
+        "instructions": report.instructions,
+        "failures": report.failures,
+        "perf": report.perf,
+    }, sort_keys=True))
+
+
+def _tuplize(value):
+    if isinstance(value, list):
+        return tuple(_tuplize(item) for item in value)
+    return value
+
+
+def report_from_payload(payload: dict) -> DiffReport:
+    """Inverse of :func:`report_payload` (verdict lists re-tupled so
+    round-tripped reports compare equal to freshly computed ones)."""
+    return DiffReport(
+        seed=payload["seed"],
+        lifeguard=payload["lifeguard"],
+        nthreads=payload["nthreads"],
+        verdicts={scheme: _tuplize(v)
+                  for scheme, v in payload["verdicts"].items()},
+        instructions=dict(payload["instructions"]),
+        failures=list(payload["failures"]),
+        perf={scheme: dict(counters)
+              for scheme, counters in payload["perf"].items()},
+    )
+
+
+def diff_job(payload: dict) -> dict:
+    """``repro.jobs`` worker: one differential cell, JSON in/out.
+
+    Module-level (pickled by reference into worker processes); the
+    simulator is deterministic per seed, so the returned payload is
+    identical no matter which process computes it.
+    """
+    report = differential_check(payload["seed"],
+                                lifeguard=payload["lifeguard"],
+                                nthreads=payload["nthreads"],
+                                length=payload["length"])
+    return report_payload(report)
+
+
+def sweep_jobs(seeds, lifeguards=None, nthreads: int = 2,
+               length: int = 18) -> list:
+    """The canonical job list for a differential sweep: one job per
+    (seed, lifeguard) cell, ids stable across runs for checkpointing."""
+    from repro.jobs import Job
+
     lifeguards = tuple(lifeguards or sorted(LIFEGUARDS))
-    return [differential_check(seed, lifeguard=name, nthreads=nthreads,
-                               length=length)
-            for seed in seeds for name in lifeguards]
+    return [
+        Job(f"seed{seed:05d}:{name}:t{nthreads}:l{length}",
+            {"seed": seed, "lifeguard": name, "nthreads": nthreads,
+             "length": length})
+        for seed in seeds for name in lifeguards
+    ]
+
+
+def differential_sweep(seeds, lifeguards=None, nthreads: int = 2,
+                       length: int = 18, jobs: int = 1,
+                       checkpoint_path: str = None, resume: bool = False,
+                       timeout: float = None, retries: int = 1,
+                       tracer=None) -> List[DiffReport]:
+    """Run :func:`differential_check` over a seed range; returns all
+    reports in canonical (seed, lifeguard) order (callers assert
+    ``all(r.ok for r in reports)``).
+
+    ``jobs=1`` with no checkpointing is the historical in-process loop;
+    ``jobs=N`` fans the cells out over the :mod:`repro.jobs` executor,
+    whose canonical-order merge keeps the result list — and its
+    serialized form — byte-identical to the serial run.
+    """
+    if jobs == 1 and checkpoint_path is None and not resume:
+        lifeguards = tuple(lifeguards or sorted(LIFEGUARDS))
+        return [differential_check(seed, lifeguard=name, nthreads=nthreads,
+                                   length=length)
+                for seed in seeds for name in lifeguards]
+
+    from repro.jobs import run_jobs
+
+    results = run_jobs(sweep_jobs(seeds, lifeguards, nthreads, length),
+                       diff_job, nworkers=jobs, timeout=timeout,
+                       retries=retries, checkpoint_path=checkpoint_path,
+                       resume=resume, tracer=tracer)
+    reports = []
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"differential cell {result.job_id} failed "
+                f"({result.status}, exit {result.exit_code}): {result.error}")
+        reports.append(report_from_payload(result.value))
+    return reports

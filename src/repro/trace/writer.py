@@ -52,8 +52,9 @@ from repro.common.errors import ConfigurationError
 #: advert   progress publishes, delayed-advertising holds/flushes
 #: accel    IT absorb/condense, IF hit/miss, M-TLB hit/miss
 #: meta     lifeguard metadata writes
+#: jobs     parallel sweep executor: job start/done/retry/resume
 #: ======== ======================================================
-CATEGORIES = ("engine", "arc", "ca", "advert", "accel", "meta")
+CATEGORIES = ("engine", "arc", "ca", "advert", "accel", "meta", "jobs")
 
 _CATEGORY_SET = frozenset(CATEGORIES)
 

@@ -1,0 +1,239 @@
+"""Tests for the ``repro.jobs`` parallel sweep executor.
+
+Covers the determinism contract (parallel merge byte-identical to the
+serial run), the failure paths (timeout, crash isolation, bounded
+retries, checkpoint/resume) and the acceptance-criterion speedup on the
+25-seed differential sweep (slow tier; the speedup assertion is guarded
+on effective CPU count so a throttled 1-core CI host measures
+correctness but not parallelism).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.jobs import (
+    EXIT_CRASHED,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    Job,
+    JobResult,
+    load_checkpoint,
+    run_jobs,
+)
+from repro.trace.diff import differential_sweep, report_payload
+from repro.trace.writer import TraceWriter
+
+
+# -- module-level workers (pickled by reference into worker processes) --------
+
+def square_worker(payload):
+    return {"square": payload["n"] * payload["n"]}
+
+
+def misbehaving_worker(payload):
+    """Scriptable worker: sleep / hard-exit / raise on demand."""
+    if payload.get("sleep"):
+        time.sleep(payload["sleep"])
+    if payload.get("exit"):
+        os._exit(payload["exit"])  # simulates a segfaulted/killed worker
+    if payload.get("raise"):
+        raise RuntimeError(payload["raise"])
+    return {"n": payload["n"]}
+
+
+def _jobs(n, **extra_by_id):
+    out = []
+    for i in range(n):
+        payload = {"n": i}
+        payload.update(extra_by_id.get(f"j{i}", {}))
+        out.append(Job(f"j{i}", payload))
+    return out
+
+
+def _effective_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+# -- the determinism contract -------------------------------------------------
+
+class TestDeterministicMerge:
+    def test_serial_and_parallel_results_identical(self):
+        jobs = _jobs(8)
+        serial = run_jobs(jobs, square_worker, nworkers=1)
+        parallel = run_jobs(jobs, square_worker, nworkers=3)
+        assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+        assert [r.job_id for r in parallel] == [j.job_id for j in jobs]
+
+    def test_values_are_json_normalized_on_every_path(self):
+        def tuple_worker(payload):
+            return (payload["n"], (1, 2))
+        # In-process (serial) results must round-trip exactly like
+        # pickled pool results and JSON-resumed results: pure JSON types.
+        result = run_jobs([Job("a", {"n": 5})], tuple_worker)[0]
+        assert result.value == [5, [1, 2]]
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_jobs([Job("same", {}), Job("same", {})], square_worker)
+
+    def test_diff_sweep_parallel_byte_identical_to_serial(self):
+        """Tier-1 guard: the sweep surfaces' merged parallel output is
+        byte-for-byte the serial output (small sweep; the full 25-seed
+        acceptance version lives in the slow tier below)."""
+        kwargs = dict(lifeguards=("addrcheck", "taintcheck"))
+        serial = differential_sweep(range(3), **kwargs)
+        parallel = differential_sweep(range(3), jobs=2, **kwargs)
+        as_bytes = lambda reports: json.dumps(
+            [report_payload(r) for r in reports], sort_keys=True)
+        assert as_bytes(serial) == as_bytes(parallel)
+
+
+# -- failure paths ------------------------------------------------------------
+
+class TestFailurePaths:
+    def test_timeout_retried_then_failed_without_poisoning_siblings(self):
+        jobs = _jobs(4, j1={"sleep": 60})
+        results = run_jobs(jobs, misbehaving_worker, nworkers=2,
+                           timeout=0.5, retries=1)
+        by_id = {r.job_id: r for r in results}
+        assert by_id["j1"].status == "timeout"
+        assert by_id["j1"].exit_code == EXIT_TIMEOUT
+        assert by_id["j1"].attempts == 2  # first try + the one retry
+        for sibling in ("j0", "j2", "j3"):
+            assert by_id[sibling].status == "ok"
+            assert by_id[sibling].value == {"n": int(sibling[1])}
+
+    def test_crash_isolated_and_bounded(self):
+        jobs = _jobs(4, j2={"exit": 7})
+        results = run_jobs(jobs, misbehaving_worker, nworkers=2, retries=1)
+        by_id = {r.job_id: r for r in results}
+        assert by_id["j2"].status == "crashed"
+        assert by_id["j2"].exit_code == EXIT_CRASHED
+        assert by_id["j2"].attempts == 2
+        for sibling in ("j0", "j1", "j3"):
+            assert by_id[sibling].status == "ok"
+
+    def test_exception_reported_after_retries(self):
+        jobs = _jobs(2, j0={"raise": "boom"})
+        results = run_jobs(jobs, misbehaving_worker, nworkers=2, retries=2)
+        assert results[0].status == "error"
+        assert results[0].attempts == 3
+        assert "boom" in results[0].error
+        assert results[1].status == "ok"
+
+    def test_serial_path_retries_exceptions_too(self):
+        results = run_jobs(_jobs(1, j0={"raise": "nope"}),
+                           misbehaving_worker, retries=1)
+        assert results[0].status == "error"
+        assert results[0].attempts == 2
+
+
+# -- checkpoint / resume ------------------------------------------------------
+
+class TestCheckpointResume:
+    def test_resume_skips_exactly_the_checkpointed_ids(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        jobs = _jobs(6)
+        # Interrupted first run: only the first half completes.
+        run_jobs(jobs[:3], square_worker, checkpoint_path=path)
+        assert sorted(load_checkpoint(path)) == ["j0", "j1", "j2"]
+
+        ran = []
+
+        def counting_worker(payload):
+            ran.append(payload["n"])
+            return square_worker(payload)
+
+        results = run_jobs(jobs, counting_worker, checkpoint_path=path,
+                           resume=True)
+        assert ran == [3, 4, 5]  # checkpointed ids skipped, exactly
+        assert [r.resumed for r in results] == [True] * 3 + [False] * 3
+        assert [r.value["square"] for r in results] == [
+            n * n for n in range(6)]
+
+    def test_failed_checkpoint_entries_also_skip(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_jobs(_jobs(2, j0={"raise": "x"}), misbehaving_worker,
+                 checkpoint_path=path, retries=0)
+        results = run_jobs(_jobs(2), misbehaving_worker,
+                           checkpoint_path=path, resume=True)
+        assert results[0].status == "error"
+        assert results[0].resumed
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        good = JobResult("a", "ok", value=1).to_json()
+        path.write_text(json.dumps(good) + "\n" + '{"job_id": "b", "sta')
+        assert sorted(load_checkpoint(str(path))) == ["a"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        good = JobResult("a", "ok", value=1).to_json()
+        path.write_text("garbage\n" + json.dumps(good) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_checkpoint(str(path))
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ValueError, match="resume"):
+            run_jobs(_jobs(1), square_worker, resume=True)
+
+
+# -- progress tracing ---------------------------------------------------------
+
+class TestProgressTrace:
+    def test_jobs_category_emits_lifecycle_events(self):
+        tracer = TraceWriter(categories=("jobs",), keep=True)
+        run_jobs(_jobs(2), square_worker, tracer=tracer)
+        names = [e["event"] for e in tracer.events]
+        assert names.count("start") == 2
+        assert names.count("done") == 2
+        assert names[-1] == "sweep_done"
+        assert all(e["cat"] == "jobs" for e in tracer.events)
+
+    def test_retry_and_resume_events(self, tmp_path):
+        path = str(tmp_path / "cp.jsonl")
+        tracer = TraceWriter(categories=("jobs",), keep=True)
+        run_jobs(_jobs(1, j0={"raise": "x"}), misbehaving_worker,
+                 retries=1, checkpoint_path=path, tracer=tracer)
+        assert [e["event"] for e in tracer.events].count("retry") == 1
+        tracer2 = TraceWriter(categories=("jobs",), keep=True)
+        run_jobs(_jobs(1), misbehaving_worker, checkpoint_path=path,
+                 resume=True, tracer=tracer2)
+        resumes = [e for e in tracer2.events if e["event"] == "resume"]
+        assert resumes and resumes[0]["skipped"] == 1
+
+
+# -- the acceptance criterion (slow tier) -------------------------------------
+
+@pytest.mark.slow
+class TestSweepAcceptance:
+    def test_25_seed_sweep_parallel_identical_and_faster(self):
+        """ISSUE 4 acceptance: ``--jobs 4`` on the 25-seed differential
+        sweep is byte-identical to serial and >= 1.8x faster. The
+        speedup half is only asserted when the host actually exposes
+        >= 4 CPUs (slow-tolerant: CI noise and throttled containers
+        must not flake the determinism half)."""
+        start = time.perf_counter()
+        serial = differential_sweep(range(25))
+        serial_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = differential_sweep(range(25), jobs=4)
+        parallel_wall = time.perf_counter() - start
+
+        as_bytes = lambda reports: json.dumps(
+            [report_payload(r) for r in reports], sort_keys=True)
+        assert as_bytes(serial) == as_bytes(parallel)
+        assert all(r.ok for r in parallel)
+
+        if _effective_cpus() >= 4:
+            speedup = serial_wall / parallel_wall
+            assert speedup >= 1.8, (
+                f"25-seed sweep with --jobs 4 only {speedup:.2f}x faster "
+                f"({serial_wall:.1f}s serial vs {parallel_wall:.1f}s)")

@@ -132,3 +132,44 @@ class TestSlowPath:
         assert lockset.wants(("hl", record(RecordKind.HL_END,
                                            hl_kind=HLEventKind.LOCK)))
         assert not lockset.wants(("alu", record(RecordKind.ALU)))
+
+
+class TestVersionedLoads:
+    """Regression: TSO versioned loads must run the Eraser machine.
+
+    ``wants()`` accepts ``load_versioned``, so ``handle()`` has to treat
+    it exactly like a plain read; before the fix it fell through to the
+    terminal default and the read never moved the word out of Exclusive,
+    masking races on read-shared words under TSO.
+    """
+
+    def versioned_load(self, lockset, tid, addr):
+        rec = record(RecordKind.LOAD, tid=tid, addr=addr, size=4)
+        # Snapshot payload as lifeguard_core delivers it: (base, len, bytes).
+        return lockset.handle(("load_versioned", rec, (addr, 4, [0, 0, 0, 0])))
+
+    def test_versioned_load_is_not_dropped(self, lockset):
+        self.versioned_load(lockset, 0, WORD)
+        assert lockset.unhandled_kinds == set()
+
+    def test_versioned_load_runs_state_machine(self, lockset):
+        access(lockset, 0, WORD, write=True)          # Virgin -> Exclusive(t0)
+        cost, accesses = self.versioned_load(lockset, 1, WORD)
+        # Exclusive -> Shared is a metadata write triggered by a read:
+        # the locked slow path must run, same as for a plain load.
+        assert cost >= SLOW_PATH_LOCK_COST
+        assert accesses == [(WORD, 4, False)]
+        access(lockset, 0, WORD, write=True)          # Shared -> Shared-Modified
+        assert [v.kind for v in lockset.violations] == ["data-race"]
+
+    def test_versioned_load_respects_held_locks(self, lockset):
+        acquire(lockset, 0, LOCK_A)
+        access(lockset, 0, WORD, write=True)
+        release(lockset, 0, LOCK_A)
+        acquire(lockset, 1, LOCK_A)
+        self.versioned_load(lockset, 1, WORD)
+        release(lockset, 1, LOCK_A)
+        acquire(lockset, 0, LOCK_A)
+        access(lockset, 0, WORD, write=True)
+        release(lockset, 0, LOCK_A)
+        assert lockset.violations == []

@@ -172,3 +172,47 @@ class TestTsoTaintCorrectness:
         # metadata should ever become tainted — versioned or not.
         assert dict(result.lifeguard_obj.metadata.nonzero_items()) == {}
         assert not result.violations
+
+
+class TestLockSetTso:
+    """Regression (end to end): races on read-shared words under TSO.
+
+    Two threads run a Dekker-style round at program start: each stores
+    its own flag word, then loads the other's. With overlapping store
+    buffers the loads are pending when the remote stores drain, so they
+    get versioned. Only thread 0 ever *writes* LINE_X — thread 1's sole
+    access is the versioned load — so before the fix the word stayed
+    Exclusive(t0) and the unprotected sharing went unreported.
+    """
+
+    LINE_X = 0x1000_0000
+    LINE_Y = 0x1000_0040
+
+    @classmethod
+    def make_side(cls, mine, theirs):
+        def kernel(api, workload):
+            yield from api.loadi(R0)
+            yield from api.store(mine, R0, value=1)
+            yield from api.load(R1, theirs)
+            yield from api.compute(3)
+            yield from api.store(mine, R0, value=2)
+        return kernel
+
+    def run_lockset(self):
+        from repro.lifeguards.lockset import LockSet
+        workload = CustomWorkload(
+            [self.make_side(self.LINE_X, self.LINE_Y),
+             self.make_side(self.LINE_Y, self.LINE_X)],
+            name="tso-lockset-race")
+        return run_parallel_monitoring(workload, LockSet, tso_config(2))
+
+    def test_read_shared_race_detected_under_tso(self):
+        result = self.run_lockset()
+        # The scenario only exercises the bug if versioning actually
+        # fired — otherwise the loads were delivered as plain loads.
+        assert result.stats.get("versions_consumed", 0) >= 1
+        raced = {v.detail.split()[1] for v in result.violations
+                 if v.kind == "data-race"}
+        assert hex(self.LINE_X) in raced
+        assert hex(self.LINE_Y) in raced
+        assert result.lifeguard_obj.unhandled_kinds == set()
