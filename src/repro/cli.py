@@ -92,6 +92,13 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent sweep cells "
                              "(default 1: serial, bit-identical output)")
+    parser.add_argument("--executor",
+                        choices=["auto", "inline", "pool", "socket"],
+                        default="auto",
+                        help="sweep backend (default auto: inline for "
+                             "--jobs 1, process pool otherwise; socket = "
+                             "TCP workers with heartbeat leases; every "
+                             "choice degrades gracefully)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,6 +189,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-cell wall-clock timeout (workers only)")
     diff.add_argument("--retries", type=int, default=1,
                       help="extra attempts per failing cell (default 1)")
+    diff.add_argument("--heartbeat", type=float, default=None, metavar="SEC",
+                      help="socket-worker heartbeat interval (default 0.5; "
+                           "a lease expires after 4 missed beats)")
+    diff.add_argument("--backoff", metavar="BASE[:CAP]", default=None,
+                      help="retry/reassign backoff: base delay and optional "
+                           "cap in seconds (deterministic capped "
+                           "exponential; default 0.1:5)")
+    diff.add_argument("--shards", metavar="DIR", default=None,
+                      help="per-worker JSONL result shards, unioned with "
+                           "the checkpoint on --resume")
+    diff.add_argument("--inject-worker", action="append", default=[],
+                      metavar="SITE:ACTION[:MOD...]",
+                      help="chaos-inject a worker-level fault (repeatable), "
+                           "e.g. worker:kill:after=2 or "
+                           "worker_heartbeat:drop:t1")
+    diff.add_argument("--fault-seed", type=int, default=0,
+                      help="seed for the worker fault plans")
+    diff.add_argument("--trace", metavar="PATH", default=None,
+                      help="stream sweep flight-recorder events to PATH "
+                           "as JSONL ('-' for stdout); safe to tail -f "
+                           "while the sweep is live")
+    diff.add_argument("--trace-filter", metavar="CATS", default="jobs",
+                      help="comma-separated event categories (default "
+                           "jobs: the sweep scheduler's own events — "
+                           "simulator events stay in the workers)")
 
     headline = sub.add_parser("headline", help="the abstract's claims")
     _add_sweep(headline)
@@ -296,25 +328,76 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _parse_backoff(spec):
+    """``BASE[:CAP]`` → :class:`repro.jobs.BackoffPolicy` (None → default)."""
+    from repro.jobs import BackoffPolicy
+
+    if spec is None:
+        return None
+    base, _, cap = spec.partition(":")
+    try:
+        return BackoffPolicy(base=float(base),
+                             **({"cap": float(cap)} if cap else {}))
+    except ValueError as exc:
+        raise ConfigurationError(f"bad --backoff {spec!r}: {exc}") from None
+
+
 def _cmd_diff(args) -> int:
     """The differential sweep as a first-class subcommand.
 
     Exit codes: 0 all cells ok, 1 verdict/oracle divergence or a sweep
-    cell failing terminally in a worker.
+    cell failing terminally in a worker, 3 interrupted (the checkpoint
+    is synced before exiting, so ``--resume`` picks up cleanly).
     """
     import json
 
+    from repro.faults import WORKER_FAULT_SITES
     from repro.trace.diff import differential_sweep, report_payload
 
+    try:
+        backoff = _parse_backoff(args.backoff)
+        worker_faults = tuple(parse_fault_spec(spec)
+                              for spec in args.inject_worker)
+        for fault in worker_faults:
+            if fault.site not in WORKER_FAULT_SITES:
+                raise ConfigurationError(
+                    f"--inject-worker only accepts the worker sites "
+                    f"{WORKER_FAULT_SITES}, not {fault.site!r}")
+        if args.trace == "-":
+            tracer = TraceWriter(
+                stream=sys.stdout,
+                categories=parse_trace_filter(args.trace_filter))
+        elif args.trace:
+            tracer = TraceWriter.to_path(
+                args.trace, categories=parse_trace_filter(args.trace_filter))
+        else:
+            tracer = None
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         reports = differential_sweep(
             range(args.seeds), lifeguards=args.lifeguards or None,
             nthreads=args.threads, length=args.length, jobs=args.jobs,
             checkpoint_path=args.checkpoint, resume=args.resume,
-            timeout=args.timeout, retries=args.retries)
+            timeout=args.timeout, retries=args.retries,
+            executor=args.executor, heartbeat=args.heartbeat,
+            backoff=backoff, worker_faults=worker_faults,
+            fault_seed=args.fault_seed, shard_dir=args.shards,
+            tracer=tracer)
+    except KeyboardInterrupt:
+        # The runner already synced the checkpoint; exit with the
+        # documented abnormal code so scripts can distinguish an
+        # interrupted (resumable) sweep from a failed one.
+        print("interrupted: checkpoint synced; re-run with --resume",
+              file=sys.stderr)
+        return EXIT_ABNORMAL
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if args.trace and args.trace != "-":
+            tracer.close()
     if args.output:
         with open(args.output, "w") as handle:
             json.dump([report_payload(report) for report in reports],
@@ -328,9 +411,20 @@ def _cmd_diff(args) -> int:
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
-    if argv is None:
-        argv = sys.argv[1:]
+    """CLI entry point; returns the process exit code.
+
+    Ctrl-C anywhere exits with :data:`~repro.faults.EXIT_ABNORMAL` (3);
+    sweeps with a ``--checkpoint`` have already synced it by then, so an
+    interrupted invocation is always safe to ``--resume``.
+    """
+    try:
+        return _dispatch(sys.argv[1:] if argv is None else argv)
+    except KeyboardInterrupt:
+        return EXIT_ABNORMAL
+
+
+def _dispatch(argv) -> int:
+    """Parse ``argv`` and run the selected subcommand."""
     # `perf` forwards everything verbatim to repro.perf's own parser
     # (argparse REMAINDER rejects unknown leading options, so dispatch
     # before the main parse).
@@ -375,18 +469,21 @@ def main(argv=None) -> int:
         counts = tuple(args.thread_counts
                        or [t for t in (1, 2, 4, 8) if t <= args.max_threads])
         print(render_figure6(figure6(args.lifeguard, benches, counts, scale,
-                                     args.seed, jobs=args.jobs)))
+                                     args.seed, jobs=args.jobs,
+                                     executor=args.executor)))
         return 0
     if args.command == "figure7":
         counts = tuple(args.thread_counts
                        or [t for t in (1, 2, 4, 8) if t <= args.max_threads])
         print(render_figure7(figure7(args.lifeguard, benches, counts, scale,
-                                     args.seed, jobs=args.jobs)))
+                                     args.seed, jobs=args.jobs,
+                                     executor=args.executor)))
         return 0
     if args.command == "figure8":
         print(render_figure8(figure8(args.lifeguard, benches,
                                      args.max_threads, scale, args.seed,
-                                     jobs=args.jobs)))
+                                     jobs=args.jobs,
+                                     executor=args.executor)))
         return 0
     if args.command == "headline":
         summary = headline_summary(benches, args.max_threads, scale,

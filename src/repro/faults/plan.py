@@ -20,7 +20,22 @@ site                      armed inside
 ``progress``              :meth:`repro.enforce.progress.ProgressTable.publish`
 ``lifeguard``             :meth:`repro.cpu.lifeguard_core.LifeguardCore.step`
 ``stall_flush``           :meth:`repro.cpu.lifeguard_core.LifeguardCore._stall_flush`
+``worker``                :func:`repro.jobs.workers.execute_job` (sweep workers)
+``worker_heartbeat``      the socket worker's heartbeat thread
+``worker_connect``        :func:`repro.jobs.workers.socket_worker_main`
 ========================  ====================================================
+
+The three ``worker*`` sites are the chaos harness for the sweep
+executors (:mod:`repro.jobs`): they are armed inside *worker processes*
+(pool or socket backend), and their ``tid`` scope addresses a socket
+worker id (pool workers have no stable ids — target them with
+``after``/``count`` instead, counted per worker process). Actions:
+``worker:kill`` hard-exits the worker on its n-th job, ``worker:hang``
+sleeps ``param`` (default 3600) seconds inside the job while heartbeats
+keep flowing, ``worker:corrupt_result`` mangles the result value after
+its integrity digest was computed, ``worker_heartbeat:drop`` silently
+skips heartbeats so the lease expires, and ``worker_connect:refuse``
+exits before dialing the coordinator.
 
 Determinism: injection decisions use the plan's *own*
 ``random.Random(seed)``, never the workload RNG, and a disabled plan
@@ -38,7 +53,11 @@ from repro.common.errors import ConfigurationError
 
 #: The hook-site names components may arm.
 FAULT_SITES = ("arc", "ca_mark", "log_append", "progress",
-               "lifeguard", "stall_flush")
+               "lifeguard", "stall_flush",
+               "worker", "worker_heartbeat", "worker_connect")
+
+#: The subset armed inside sweep worker processes (:mod:`repro.jobs`).
+WORKER_FAULT_SITES = ("worker", "worker_heartbeat", "worker_connect")
 
 #: Actions each site understands (checked at plan construction).
 SITE_ACTIONS = {
@@ -48,6 +67,9 @@ SITE_ACTIONS = {
     "progress": ("suppress",),
     "lifeguard": ("stall", "kill"),
     "stall_flush": ("skip",),
+    "worker": ("kill", "hang", "corrupt_result"),
+    "worker_heartbeat": ("drop",),
+    "worker_connect": ("refuse",),
 }
 
 

@@ -1,35 +1,65 @@
 """Parallel sweep executor: deterministic fan-out over worker processes.
 
 See :mod:`repro.jobs.runner` for the execution model (deterministic
-merge order, crash isolation, timeouts, bounded retries) and
-:mod:`repro.jobs.checkpoint` for the JSONL checkpoint/resume format.
+merge order, leases, bounded retries with deterministic backoff,
+graceful backend degradation), :mod:`repro.jobs.executors` for the
+pluggable backends (``inline`` / ``pool`` / ``socket``),
+:mod:`repro.jobs.checkpoint` for the JSONL checkpoint/resume format and
+:mod:`repro.jobs.shards` for the Taurus-style per-worker result shards.
 The sweep surfaces that use it — ``repro.trace.diff`` seed sweeps, the
 ``repro.perf`` scenario matrix, the ``repro.eval.experiments`` figure
 loops — all expose it as ``--jobs N`` (default 1: the historical
-serial path, bit-identical output).
+serial path, bit-identical output) plus ``--executor``.
 """
 
+from repro.jobs.backoff import BackoffPolicy
 from repro.jobs.checkpoint import CheckpointWriter, load_checkpoint
-from repro.jobs.runner import (
+from repro.jobs.executors import (
+    DEFAULT_HEARTBEAT,
+    EXECUTORS,
+    Executor,
+    ExecutorError,
+    ExecutorEvent,
+    executor_ladder,
+)
+from repro.jobs.leases import Lease, LeaseTable
+from repro.jobs.model import (
     EXIT_CRASHED,
     EXIT_ERROR,
     EXIT_OK,
     EXIT_TIMEOUT,
     Job,
     JobResult,
-    JobRunner,
-    run_jobs,
+    TERMINAL_STATUSES,
+    normalize_value,
+    result_digest,
 )
+from repro.jobs.runner import JobRunner, run_jobs
+from repro.jobs.shards import ShardWriter, load_shards
 
 __all__ = [
+    "BackoffPolicy",
     "CheckpointWriter",
+    "DEFAULT_HEARTBEAT",
+    "EXECUTORS",
     "EXIT_CRASHED",
     "EXIT_ERROR",
     "EXIT_OK",
     "EXIT_TIMEOUT",
+    "Executor",
+    "ExecutorError",
+    "ExecutorEvent",
     "Job",
     "JobResult",
     "JobRunner",
+    "Lease",
+    "LeaseTable",
+    "ShardWriter",
+    "TERMINAL_STATUSES",
+    "executor_ladder",
     "load_checkpoint",
+    "load_shards",
+    "normalize_value",
+    "result_digest",
     "run_jobs",
 ]

@@ -1,55 +1,90 @@
 """JSONL sweep checkpoints.
 
-One line per *terminal* job result, appended and flushed as each job
-finishes, so an interrupted sweep loses at most the jobs that were
-still in flight. The format is the ``JobResult.to_json()`` dict; the
-``job_id`` field keys resume. Lines are append-only — if a job somehow
-appears twice (e.g. a sweep re-run into the same file without
-``resume``), the *last* line wins, matching "latest run wins".
+One line per *terminal* job result, appended as each job finishes, so
+an interrupted sweep loses at most the jobs that were still in flight.
+The format is the ``JobResult.to_json()`` dict; the ``job_id`` field
+keys resume. Lines are append-only — if a job somehow appears twice
+(e.g. a sweep re-run into the same file without ``resume``), the *last*
+line wins, matching "latest run wins".
 
-A truncated final line (the process died mid-write) is tolerated and
-ignored; anything else malformed raises, because silently dropping a
-checkpointed result would make ``--resume`` quietly recompute — or
-worse, quietly *skip* — work.
+Durability is two-tier: every append is flushed to the OS immediately
+(a dead *process* loses nothing), and an ``os.fsync`` lands every
+``fsync_every`` appends and on :meth:`CheckpointWriter.sync` /
+:meth:`CheckpointWriter.close` (bounding what a dead *machine* can
+lose). The sweep runner syncs explicitly on ``KeyboardInterrupt``, so
+Ctrl-C mid-sweep never loses a buffered line.
+
+Loading is tolerant by design: a sweep's workers get killed mid-write
+on purpose (the chaos harness) and a previous coordinator may have died
+holding the file, so a corrupt line anywhere in the file — torn tail or
+damaged interior — is *skipped*, counted, warned about and reported on
+the ``jobs`` trace category, never trusted and never fatal. The skipped
+job simply re-runs; recomputing a deterministic cell is always safe,
+while refusing to resume a 24-hour sweep over one bad line is not.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict
+import warnings
+from typing import Dict, Optional
 
 
 class CheckpointWriter:
     """Append-only JSONL writer for terminal job results."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, *, fsync_every: int = 16):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
         self.path = path
+        self.fsync_every = fsync_every
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._stream = open(path, "a")
+        self._unsynced = 0
 
     def append(self, payload: dict) -> None:
+        """Write one result line, flushed to the OS immediately and
+        fsynced every ``fsync_every`` appends."""
         self._stream.write(json.dumps(payload, separators=(",", ":"),
                                       sort_keys=True))
         self._stream.write("\n")
         self._stream.flush()
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush and fsync everything appended so far (called by the
+        runner on ``KeyboardInterrupt`` before the abnormal exit)."""
+        if self._stream is None:
+            return
+        self._stream.flush()
         os.fsync(self._stream.fileno())
+        self._unsynced = 0
 
     def close(self) -> None:
+        """Sync and close the checkpoint file."""
         if self._stream is not None:
+            self.sync()
             self._stream.close()
             self._stream = None
 
 
-def load_checkpoint(path: str) -> Dict[str, dict]:
+def load_checkpoint(path: str, tracer=None) -> Dict[str, dict]:
     """Read a checkpoint file into ``{job_id: result_json}``.
 
     A missing file is an empty checkpoint (first run of a sweep started
-    with ``--resume`` unconditionally). Only the file's final line may
-    be truncated; see the module docstring.
+    with ``--resume`` unconditionally). Corrupt or malformed lines
+    anywhere in the file are skipped and counted — reported via a
+    ``UserWarning`` and, when ``tracer`` is given, a
+    ``checkpoint_skipped`` event on the ``jobs`` category — and their
+    jobs re-run; see the module docstring for why this never raises.
     """
     results: Dict[str, dict] = {}
+    skipped = 0
+    first_bad: Optional[int] = None
     if not os.path.exists(path):
         return results
     with open(path) as handle:
@@ -60,12 +95,21 @@ def load_checkpoint(path: str) -> Dict[str, dict]:
         try:
             payload = json.loads(line)
         except json.JSONDecodeError:
-            if lineno == len(lines):
-                break  # torn final write: that job simply re-runs
-            raise ValueError(
-                f"{path}:{lineno}: corrupt checkpoint line") from None
-        if not isinstance(payload, dict) or "job_id" not in payload \
-                or "status" not in payload:
-            raise ValueError(f"{path}:{lineno}: not a job result: {line!r}")
+            payload = None
+        if (not isinstance(payload, dict)
+                or not isinstance(payload.get("job_id"), str)
+                or "status" not in payload):
+            skipped += 1
+            if first_bad is None:
+                first_bad = lineno
+            continue
         results[payload["job_id"]] = payload
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} corrupt checkpoint line(s) "
+            f"(first at line {first_bad}); their jobs will re-run",
+            UserWarning, stacklevel=2)
+        if tracer is not None:
+            tracer.emit("jobs", "checkpoint_skipped", path=path,
+                        lines=skipped, first_line=first_bad)
     return results

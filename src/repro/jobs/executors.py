@@ -1,0 +1,788 @@
+"""Pluggable sweep-executor backends behind one small protocol.
+
+A backend owns *where* jobs physically run; the scheduler
+(:mod:`repro.jobs.scheduler`) owns everything about *when* — leases,
+retries, backoff, merge order. The protocol between them is
+event-based: the scheduler submits attempts while
+:meth:`Executor.can_accept` holds, then drains
+:class:`ExecutorEvent` batches from :meth:`Executor.poll`.
+
+Three backends, forming the degradation ladder ``socket → pool →
+inline``:
+
+* :class:`InlineExecutor` — jobs run synchronously in the scheduler's
+  process. The floor of the ladder: it cannot fail to start, enforces
+  no deadlines, and reproduces the historical serial loop bit-for-bit.
+* :class:`PoolExecutor` — the ``ProcessPoolExecutor`` path. A dead
+  worker poisons the whole shared pool, so recovery re-runs every
+  in-flight attempt in a single-worker *quarantine* pool to find the
+  culprit (which stays quarantined for good), and a hung worker can
+  only be reaped by tearing the pool down — innocent in-flight
+  siblings come back as ``aborted`` events and are re-queued uncharged.
+* :class:`SocketExecutor` — worker processes dial a local TCP socket,
+  pull jobs, heartbeat while running and stream results
+  (:mod:`repro.jobs.workers`). Failure is *per-worker*: a dead or
+  leased-out worker is killed and respawned under a fresh, never-reused
+  worker id (elastic shrink when the respawn budget runs out), and no
+  sibling ever loses work. When every worker is gone and none can be
+  respawned, the backend raises :class:`ExecutorError` and the
+  scheduler falls down the ladder mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import selectors
+import signal
+import socket as socketlib
+import threading
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults import Fault
+from repro.jobs.model import Job, normalize_value, result_digest
+from repro.jobs.workers import arm_pool_worker, pool_shim, socket_worker_main
+
+#: Backend names, in degradation-ladder order (most to least capable).
+EXECUTORS = ("socket", "pool", "inline")
+
+#: Default socket-backend heartbeat interval in seconds.
+DEFAULT_HEARTBEAT = 0.5
+
+
+class ExecutorError(RuntimeError):
+    """A backend cannot start, or has irrecoverably lost every worker.
+
+    The scheduler reacts by re-queuing every outstanding attempt
+    (uncharged) and falling to the next backend down the ladder.
+    """
+
+
+@dataclass
+class ExecutorEvent:
+    """One observation reported by a backend to the scheduler.
+
+    ``kind`` is one of ``result`` (an attempt finished with ``status``
+    ok/error/crashed/timeout), ``heartbeat`` (renew the lease),
+    ``dispatched`` (a queued attempt was handed to ``worker_id``),
+    ``worker_lost`` (the worker owning ``attempt_id`` died),
+    ``aborted`` (an innocent attempt was collaterally cancelled —
+    re-queue without charging it), ``worker_spawned``, ``pool_broken``
+    and ``quarantine`` (informational, traced by the scheduler).
+    """
+
+    kind: str
+    attempt_id: Optional[int] = None
+    worker_id: Optional[int] = None
+    status: Optional[str] = None
+    value: object = None
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    reason: Optional[str] = None
+
+
+class Executor:
+    """The backend protocol (see the module docstring).
+
+    Concrete backends override everything; the base class only fixes
+    the capability flags the scheduler keys off: whether workers
+    heartbeat (arms the lease deadline) and whether deadlines are
+    enforceable at all (the inline backend runs jobs on the scheduler's
+    own thread, so nothing can be reaped).
+    """
+
+    name = "abstract"
+    supports_heartbeats = False
+    enforces_deadlines = True
+
+    def start(self) -> None:
+        """Bring the backend up; raise :class:`ExecutorError` if it
+        cannot run in this environment."""
+        raise NotImplementedError
+
+    def can_accept(self) -> bool:
+        """True when a further :meth:`submit` would not oversubscribe."""
+        raise NotImplementedError
+
+    def submit(self, attempt_id: int, job: Job) -> None:
+        """Hand one attempt to the backend."""
+        raise NotImplementedError
+
+    def poll(self, timeout: Optional[float]) -> List[ExecutorEvent]:
+        """Wait up to ``timeout`` seconds (None = until something
+        happens) and return every new event."""
+        raise NotImplementedError
+
+    def kill_attempt(self, attempt_id: int, reason: str) -> List[ExecutorEvent]:
+        """Forcibly stop an attempt whose lease expired. Returns
+        collateral events (``aborted`` siblings, respawns); the caller
+        settles the killed attempt itself."""
+        raise NotImplementedError
+
+    def outstanding(self) -> List[int]:
+        """Attempt ids submitted but not yet resulted (for fallback)."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Tear the backend down, killing any remaining workers."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# inline
+# ---------------------------------------------------------------------------
+
+class InlineExecutor(Executor):
+    """Serial in-process execution: the ladder's always-available floor.
+
+    Jobs run synchronously inside :meth:`poll`, one at a time, with no
+    pickling and no deadline enforcement — bit-identical to the
+    historical ``nworkers=1`` loop. Worker-level chaos faults are
+    deliberately *not* armed here (a ``kill`` would take the
+    coordinator down with it); inline is the backend the chaos ladder
+    degrades *to*, so it must always succeed.
+    """
+
+    name = "inline"
+    enforces_deadlines = False
+
+    def __init__(self, worker_fn: Callable, **_unused):
+        self.worker_fn = worker_fn
+        self._queued: Optional[Tuple[int, Job]] = None
+
+    def start(self) -> None:
+        """Nothing to bring up."""
+
+    def can_accept(self) -> bool:
+        """One job at a time."""
+        return self._queued is None
+
+    def submit(self, attempt_id: int, job: Job) -> None:
+        """Queue the single next job."""
+        self._queued = (attempt_id, job)
+
+    def poll(self, timeout: Optional[float]) -> List[ExecutorEvent]:
+        """Run the queued job to completion (or sleep out ``timeout``
+        when idle, e.g. while the scheduler waits out a backoff)."""
+        if self._queued is None:
+            time.sleep(timeout if timeout is not None else 0.01)
+            return []
+        attempt_id, job = self._queued
+        self._queued = None
+        try:
+            value = self.worker_fn(job.payload)
+        except Exception as exc:  # noqa: BLE001 — isolate the cell
+            return [ExecutorEvent(kind="result", attempt_id=attempt_id,
+                                  status="error", error=repr(exc))]
+        value = normalize_value(value)
+        return [ExecutorEvent(kind="result", attempt_id=attempt_id,
+                              status="ok", value=value,
+                              digest=result_digest(value))]
+
+    def kill_attempt(self, attempt_id: int, reason: str) -> List[ExecutorEvent]:
+        """Never called (no deadlines inline); defined for protocol
+        completeness."""
+        return []
+
+    def outstanding(self) -> List[int]:
+        """The queued attempt, if any."""
+        return [self._queued[0]] if self._queued is not None else []
+
+    def stop(self) -> None:
+        """Nothing to tear down."""
+        self._queued = None
+
+
+# ---------------------------------------------------------------------------
+# pool
+# ---------------------------------------------------------------------------
+
+def _interruptible_wait(futures, timeout):
+    """``concurrent.futures.wait`` with SIGINT *deferred*, not lost.
+
+    A ``KeyboardInterrupt`` raised inside ``wait()``'s lock-acquisition
+    loop (``_AcquireFutures.__enter__`` takes every future's condition
+    lock in a Python-level loop) leaks whatever locks were already
+    taken; the pool's manager thread then deadlocks in
+    ``Future.cancel()`` during shutdown and teardown hangs forever.
+    So for the duration of one (POLL_CAP-bounded) wait the handler is
+    swapped for a latch, and a caught interrupt is re-raised right
+    after — at a point where no future locks are held."""
+    if threading.current_thread() is not threading.main_thread():
+        return wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
+    caught = []
+    previous = signal.signal(signal.SIGINT,
+                             lambda _sig, _frame: caught.append(1))
+    try:
+        return wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
+    finally:
+        signal.signal(signal.SIGINT, previous)
+        if caught:
+            raise KeyboardInterrupt
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung: SIGTERM every worker
+    process, then reap. Safe on an already-broken pool. The manager
+    thread is joined with a *bounded* timeout — teardown of a corrupted
+    pool must degrade to a leaked thread, never a deadlocked sweep."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    manager = getattr(pool, "_executor_manager_thread", None)
+    if manager is not None:
+        manager.join(timeout=5.0)
+
+
+class PoolExecutor(Executor):
+    """The ``ProcessPoolExecutor`` backend (PR 4's path, refactored
+    behind the protocol). Crash recovery and quarantine semantics are
+    unchanged: a job id that broke a shared pool once only ever runs in
+    single-worker quarantine pools from then on."""
+
+    name = "pool"
+
+    def __init__(self, worker_fn: Callable, nworkers: int, *,
+                 timeout: Optional[float] = None,
+                 worker_faults: Tuple[Fault, ...] = (),
+                 fault_seed: int = 0,
+                 shard_dir: Optional[str] = None, **_unused):
+        self.worker_fn = worker_fn
+        self.nworkers = nworkers
+        self.timeout = timeout
+        self.worker_faults = tuple(worker_faults or ())
+        self.fault_seed = fault_seed
+        self.shard_dir = shard_dir
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inflight: Dict[object, int] = {}  # future -> attempt_id
+        self._jobs: Dict[int, Job] = {}         # attempt_id -> Job
+        self._quarantined = set()               # job ids
+        self._buffer: List[ExecutorEvent] = []
+
+    def _make_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers, initializer=arm_pool_worker,
+            initargs=(self.worker_faults, self.fault_seed, self.shard_dir))
+
+    def start(self) -> None:
+        """Build the shared pool; unavailable multiprocessing (missing
+        sem_open, no fork) degrades to inline."""
+        try:
+            self._pool = self._make_pool(self.nworkers)
+        except (NotImplementedError, OSError, ValueError) as exc:
+            raise ExecutorError(f"pool backend unavailable: {exc!r}")
+
+    def can_accept(self) -> bool:
+        """One in-flight future per pool worker."""
+        return len(self._inflight) < self.nworkers
+
+    def submit(self, attempt_id: int, job: Job) -> None:
+        """Submit to the shared pool — or run immediately in a
+        quarantine pool when the job has previously broken one."""
+        self._jobs[attempt_id] = job
+        if job.job_id in self._quarantined:
+            self._buffer.append(ExecutorEvent(kind="quarantine",
+                                              attempt_id=attempt_id))
+            status, value, digest, error = self._run_isolated(job)
+            self._jobs.pop(attempt_id, None)
+            self._buffer.append(ExecutorEvent(
+                kind="result", attempt_id=attempt_id, status=status,
+                value=value, digest=digest, error=error))
+            return
+        try:
+            future = self._pool.submit(pool_shim, self.worker_fn,
+                                       job.payload, job.job_id)
+        except BrokenProcessPool:
+            # A worker died since the last poll and poisoned the pool
+            # before this submit. Recover the in-flight attempts first,
+            # then retry once on the rebuilt pool.
+            self._buffer.extend(self._recover_broken())
+            try:
+                future = self._pool.submit(pool_shim, self.worker_fn,
+                                           job.payload, job.job_id)
+            except BrokenProcessPool as exc:
+                raise ExecutorError(f"pool broke twice during one "
+                                    f"submit: {exc!r}")
+        self._inflight[future] = attempt_id
+
+    def poll(self, timeout: Optional[float]) -> List[ExecutorEvent]:
+        """Drain buffered events and completed futures."""
+        events, self._buffer = self._buffer, []
+        if not self._inflight:
+            if not events and timeout:
+                time.sleep(timeout)
+            return events
+        done, _ = _interruptible_wait(list(self._inflight),
+                                      0 if events else timeout)
+        broken = False
+        for future in done:
+            attempt_id = self._inflight.pop(future)
+            try:
+                out = future.result()
+            except BrokenProcessPool:
+                # The whole pool is poisoned; every other in-flight
+                # future is about to fail the same way. Recover together.
+                self._inflight[future] = attempt_id
+                broken = True
+                break
+            except Exception as exc:  # noqa: BLE001
+                self._jobs.pop(attempt_id, None)
+                events.append(ExecutorEvent(kind="result",
+                                            attempt_id=attempt_id,
+                                            status="error", error=repr(exc)))
+            else:
+                self._jobs.pop(attempt_id, None)
+                events.append(ExecutorEvent(
+                    kind="result", attempt_id=attempt_id, status="ok",
+                    value=out["value"], digest=out["digest"]))
+        if broken:
+            events.extend(self._recover_broken())
+        return events
+
+    def _recover_broken(self) -> List[ExecutorEvent]:
+        """A worker died and poisoned the shared pool. Rebuild it, then
+        re-run every in-flight attempt once in its own quarantine pool:
+        innocents complete unharmed, the culprit crashes alone and stays
+        quarantined for good."""
+        affected = list(self._inflight.values())
+        self._inflight.clear()
+        _terminate_pool(self._pool)
+        events = [ExecutorEvent(kind="pool_broken",
+                                reason=f"{len(affected)} in flight")]
+        for attempt_id in affected:
+            job = self._jobs.pop(attempt_id)
+            events.append(ExecutorEvent(kind="quarantine",
+                                        attempt_id=attempt_id))
+            status, value, digest, error = self._run_isolated(job)
+            if status == "crashed":
+                self._quarantined.add(job.job_id)
+            events.append(ExecutorEvent(
+                kind="result", attempt_id=attempt_id, status=status,
+                value=value, digest=digest, error=error))
+        self._pool = self._make_pool(self.nworkers)
+        return events
+
+    def _run_isolated(self, job: Job):
+        """One attempt in a dedicated single-worker pool."""
+        solo = self._make_pool(1)
+        try:
+            future = solo.submit(pool_shim, self.worker_fn, job.payload,
+                                 job.job_id)
+            try:
+                out = future.result(timeout=self.timeout)
+            except FuturesTimeoutError:
+                return ("timeout", None, None,
+                        f"exceeded {self.timeout}s wall-clock")
+            except BrokenProcessPool:
+                return ("crashed", None, None, "worker process died")
+            except Exception as exc:  # noqa: BLE001
+                return ("error", None, None, repr(exc))
+            return ("ok", out["value"], out["digest"], None)
+        finally:
+            _terminate_pool(solo)
+
+    def kill_attempt(self, attempt_id: int, reason: str) -> List[ExecutorEvent]:
+        """A lease expired: the worker is hung. Futures can't cancel a
+        *running* task, so tear the whole pool down, abort innocent
+        in-flight siblings (re-queued uncharged by the scheduler) and
+        rebuild."""
+        events = []
+        _terminate_pool(self._pool)
+        for future, aid in list(self._inflight.items()):
+            self._jobs.pop(aid, None)
+            if aid != attempt_id:
+                events.append(ExecutorEvent(kind="aborted", attempt_id=aid,
+                                            reason=reason))
+        self._inflight.clear()
+        self._pool = self._make_pool(self.nworkers)
+        return events
+
+    def outstanding(self) -> List[int]:
+        """In-flight attempt ids (buffered results excluded)."""
+        return list(self._inflight.values())
+
+    def stop(self) -> None:
+        """Kill the shared pool."""
+        if self._pool is not None:
+            _terminate_pool(self._pool)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# socket
+# ---------------------------------------------------------------------------
+
+class _Conn:
+    """One accepted coordinator-side connection and its read buffer."""
+
+    __slots__ = ("sock", "rbuf", "worker_id")
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.rbuf = b""
+        self.worker_id = None
+
+
+class _SocketWorker:
+    """Coordinator-side state of one spawned worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "ready", "attempt_id")
+
+    def __init__(self, worker_id, process):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn: Optional[_Conn] = None
+        self.ready = False
+        self.attempt_id: Optional[int] = None
+
+
+class SocketExecutor(Executor):
+    """Worker processes over a local TCP socket, with heartbeats.
+
+    Workers dial in, pull jobs and stream results; the coordinator
+    never blocks on any single worker. A worker that dies (or is killed
+    for an expired lease) costs exactly its own in-flight job — the
+    scheduler reassigns it — and is respawned under a fresh worker id
+    until the respawn budget (``2 * nworkers`` by default) runs out,
+    after which the fleet gracefully shrinks. Fresh ids matter for
+    chaos determinism: a fault spec targeting ``t1`` dies with worker 1
+    instead of re-arming inside its replacement.
+    """
+
+    name = "socket"
+    supports_heartbeats = True
+
+    def __init__(self, worker_fn: Callable, nworkers: int, *,
+                 heartbeat: float = DEFAULT_HEARTBEAT,
+                 worker_faults: Tuple[Fault, ...] = (),
+                 fault_seed: int = 0,
+                 shard_dir: Optional[str] = None,
+                 connect_timeout: float = 15.0,
+                 max_respawns: Optional[int] = None, **_unused):
+        self.worker_fn = worker_fn
+        self.nworkers = nworkers
+        self.heartbeat = heartbeat
+        self.worker_faults = tuple(worker_faults or ())
+        self.fault_seed = fault_seed
+        self.shard_dir = shard_dir
+        self.connect_timeout = connect_timeout
+        self.max_respawns = (2 * nworkers if max_respawns is None
+                             else max_respawns)
+        self._listener = None
+        self._selector = None
+        self._workers: Dict[int, _SocketWorker] = {}
+        self._attempts: Dict[int, int] = {}  # attempt_id -> worker_id
+        self._queue = deque()                # (attempt_id, Job)
+        self._buffer: List[ExecutorEvent] = []
+        self._next_worker_id = 0
+        self._respawns = 0
+        self._started_at = None
+        self._ever_connected = False
+
+    def start(self) -> None:
+        """Bind the loopback listener and launch the worker fleet."""
+        try:
+            listener = socketlib.socket(socketlib.AF_INET,
+                                        socketlib.SOCK_STREAM)
+            listener.setsockopt(socketlib.SOL_SOCKET,
+                                socketlib.SO_REUSEADDR, 1)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(self.nworkers + self.max_respawns + 1)
+        except OSError as exc:
+            raise ExecutorError(f"socket backend unavailable: {exc!r}")
+        listener.setblocking(False)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ,
+                                ("listener", None))
+        self._started_at = time.monotonic()
+        for _ in range(self.nworkers):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = multiprocessing.Process(
+            target=socket_worker_main,
+            args=(self._port, self.worker_fn, worker_id, self.heartbeat,
+                  self.worker_faults, self.fault_seed, self.shard_dir),
+            daemon=True)
+        process.start()
+        self._workers[worker_id] = _SocketWorker(worker_id, process)
+        self._buffer.append(ExecutorEvent(kind="worker_spawned",
+                                          worker_id=worker_id))
+
+    def _respawn_or_shrink(self) -> None:
+        """Replace a lost worker under a fresh id, or shrink the fleet
+        once the respawn budget is spent."""
+        if self._respawns < self.max_respawns:
+            self._respawns += 1
+            self._spawn()
+
+    def can_accept(self) -> bool:
+        """Queue at most one job per currently idle, connected worker
+        (keeps submit-time leases honest: dispatch is near-immediate)."""
+        free = sum(1 for worker in self._workers.values()
+                   if worker.conn is not None and worker.ready
+                   and worker.attempt_id is None)
+        return len(self._queue) < free or (
+            not self._queue and not self._ever_connected
+            and bool(self._workers))
+
+    def submit(self, attempt_id: int, job: Job) -> None:
+        """Queue the attempt; it is wired to a ready worker on the next
+        dispatch pass."""
+        self._queue.append((attempt_id, job))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        for worker_id in sorted(self._workers):
+            if not self._queue:
+                return
+            worker = self._workers[worker_id]
+            if (worker.conn is None or not worker.ready
+                    or worker.attempt_id is not None):
+                continue
+            attempt_id, job = self._queue[0]
+            message = {"type": "job", "attempt": attempt_id,
+                       "job_id": job.job_id, "payload": job.payload}
+            try:
+                worker.conn.sock.sendall(
+                    (json.dumps(message, separators=(",", ":"),
+                                sort_keys=True) + "\n").encode("utf-8"))
+            except OSError:
+                continue  # the read path will reap this worker
+            self._queue.popleft()
+            worker.ready = False
+            worker.attempt_id = attempt_id
+            self._attempts[attempt_id] = worker_id
+            self._buffer.append(ExecutorEvent(kind="dispatched",
+                                              attempt_id=attempt_id,
+                                              worker_id=worker_id))
+
+    def poll(self, timeout: Optional[float]) -> List[ExecutorEvent]:
+        """Pump the selector: accept dial-ins, read worker messages,
+        reap dead processes, dispatch queued work."""
+        self._dispatch()
+        events, self._buffer = self._buffer, []
+        for key, _mask in self._selector.select(0 if events else timeout):
+            tag, state = key.data
+            if tag == "listener":
+                self._accept()
+            else:
+                self._read(state, events)
+        self._reap_dead(events)
+        self._dispatch()
+        events.extend(self._buffer)
+        self._buffer = []
+        self._check_liveness()
+        return events
+
+    def _accept(self) -> None:
+        try:
+            sock, _addr = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        conn = _Conn(sock)
+        self._selector.register(sock, selectors.EVENT_READ, ("conn", conn))
+
+    def _read(self, conn: _Conn, events: List[ExecutorEvent]) -> None:
+        try:
+            data = conn.sock.recv(1 << 16)
+        except BlockingIOError:
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._drop_conn(conn, events, reason="connection lost")
+            return
+        conn.rbuf += data
+        while b"\n" in conn.rbuf:
+            line, conn.rbuf = conn.rbuf.split(b"\n", 1)
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a frame torn by a dying worker
+            self._handle_message(conn, message, events)
+
+    def _handle_message(self, conn: _Conn, message: dict,
+                        events: List[ExecutorEvent]) -> None:
+        kind = message.get("type")
+        worker_id = message.get("worker")
+        worker = self._workers.get(worker_id)
+        if kind == "hello":
+            if worker is not None:
+                conn.worker_id = worker_id
+                worker.conn = conn
+                self._ever_connected = True
+            return
+        if worker is None or worker.conn is not conn:
+            return  # a zombie connection from an already-replaced worker
+        if kind == "ready":
+            worker.ready = True
+        elif kind == "heartbeat":
+            events.append(ExecutorEvent(kind="heartbeat",
+                                        attempt_id=message.get("attempt"),
+                                        worker_id=worker_id))
+        elif kind == "result":
+            attempt_id = message.get("attempt")
+            worker.attempt_id = None
+            self._attempts.pop(attempt_id, None)
+            events.append(ExecutorEvent(
+                kind="result", attempt_id=attempt_id, worker_id=worker_id,
+                status=message.get("status", "error"),
+                value=message.get("value"), digest=message.get("digest"),
+                error=message.get("error")))
+
+    def _drop_conn(self, conn: _Conn, events: List[ExecutorEvent], *,
+                   reason: str) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.sock.close()
+        worker_id = conn.worker_id
+        worker = self._workers.get(worker_id)
+        if worker is None or worker.conn is not conn:
+            return
+        self._remove_worker(worker, events, reason=reason)
+
+    def _remove_worker(self, worker: _SocketWorker,
+                       events: List[ExecutorEvent], *, reason: str) -> None:
+        self._workers.pop(worker.worker_id, None)
+        if worker.attempt_id is not None:
+            self._attempts.pop(worker.attempt_id, None)
+            events.append(ExecutorEvent(kind="worker_lost",
+                                        attempt_id=worker.attempt_id,
+                                        worker_id=worker.worker_id,
+                                        reason=reason))
+        if worker.process.is_alive():
+            worker.process.terminate()
+        self._respawn_or_shrink()
+
+    def _reap_dead(self, events: List[ExecutorEvent]) -> None:
+        """Notice workers that exited without ever connecting (the
+        refuse-connect chaos fault, an import crash) or whose process
+        died faster than their socket EOF arrived."""
+        for worker in list(self._workers.values()):
+            if worker.process.is_alive():
+                continue
+            if worker.conn is not None:
+                self._drop_conn(worker.conn, events, reason="process died")
+            else:
+                self._remove_worker(worker, events,
+                                    reason="died before connecting")
+
+    def _check_liveness(self) -> None:
+        if not self._workers:
+            raise ExecutorError("socket backend lost every worker "
+                                "(respawn budget exhausted)")
+        if (not self._ever_connected and self._started_at is not None
+                and time.monotonic() - self._started_at
+                > self.connect_timeout):
+            raise ExecutorError(
+                f"no socket worker connected within {self.connect_timeout}s")
+
+    def kill_attempt(self, attempt_id: int, reason: str) -> List[ExecutorEvent]:
+        """A lease expired: kill exactly the owning worker (its
+        heartbeats stopped or its job overran) and respawn. No sibling
+        is touched — the socket backend's whole point."""
+        events: List[ExecutorEvent] = []
+        worker_id = self._attempts.pop(attempt_id, None)
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            return events
+        worker.attempt_id = None  # the scheduler settles this attempt
+        if worker.conn is not None:
+            try:
+                self._selector.unregister(worker.conn.sock)
+            except (KeyError, ValueError):
+                pass
+            worker.conn.sock.close()
+        self._workers.pop(worker_id, None)
+        if worker.process.is_alive():
+            worker.process.terminate()
+        self._respawn_or_shrink()
+        return events
+
+    def outstanding(self) -> List[int]:
+        """Leased plus still-queued attempt ids."""
+        return list(self._attempts) + [aid for aid, _job in self._queue]
+
+    def stop(self) -> None:
+        """Close every connection and terminate the fleet."""
+        for worker in list(self._workers.values()):
+            if worker.conn is not None:
+                try:
+                    worker.conn.sock.sendall(b'{"type":"stop"}\n')
+                except OSError:
+                    pass
+                worker.conn.sock.close()
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=2)
+        self._workers.clear()
+        self._attempts.clear()
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+# ---------------------------------------------------------------------------
+# factory / ladder
+# ---------------------------------------------------------------------------
+
+_BACKENDS = {
+    "inline": InlineExecutor,
+    "pool": PoolExecutor,
+    "socket": SocketExecutor,
+}
+
+
+def executor_ladder(name: str, nworkers: int) -> Tuple[str, ...]:
+    """The degradation ladder for a requested backend name.
+
+    ``auto`` preserves the historical mapping (``nworkers == 1`` →
+    inline, else pool); explicit names fall through every strictly less
+    capable backend so a sweep survives an environment where its first
+    choice cannot start.
+    """
+    if name == "auto":
+        return ("inline",) if nworkers == 1 else ("pool", "inline")
+    if name == "inline":
+        return ("inline",)
+    if name == "pool":
+        return ("pool", "inline")
+    if name == "socket":
+        return ("socket", "pool", "inline")
+    raise ValueError(f"unknown executor {name!r}; "
+                     f"expected auto, {', '.join(EXECUTORS)}")
+
+
+def create_executor(name: str, worker_fn: Callable, nworkers: int,
+                    **options) -> Executor:
+    """Instantiate one backend by name (not yet started)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown executor {name!r}; "
+                         f"expected one of {EXECUTORS}") from None
+    return cls(worker_fn, nworkers=nworkers, **options)

@@ -1,0 +1,122 @@
+"""Worker leases: the liveness contract between scheduler and workers.
+
+Taurus-style recovery rests on a simple invariant: every dispatched job
+is *owned* by exactly one worker for a bounded time. A :class:`Lease`
+records that ownership with up to two deadlines on the scheduler's
+monotonic clock:
+
+* ``deadline`` — the heartbeat deadline. Socket workers beat while a
+  job runs; each beat renews the lease by its ``ttl``. A worker that
+  crashes, hangs before its harness, gets SIGKILLed or drops off the
+  network stops beating, the lease expires, and the scheduler kills the
+  (presumed-dead) worker and deterministically reassigns the job with
+  capped exponential backoff.
+* ``hard_deadline`` — the per-attempt wall-clock budget. Heartbeats do
+  NOT move it: a worker that is alive but stuck *inside* the job (the
+  ``worker:hang`` chaos fault, a livelocked cell) keeps beating
+  forever, so the hard deadline is what bounds the attempt.
+
+Backends without heartbeats (the process pool) grant leases with only
+the hard deadline; the inline backend grants none at all (it runs jobs
+synchronously in the scheduler's own process, so there is nothing to
+lose and nothing to expire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Lease:
+    """One in-flight attempt's ownership record."""
+
+    attempt_id: int
+    job_id: str
+    worker_id: Optional[int] = None
+    deadline: Optional[float] = None       # heartbeat deadline (monotonic)
+    hard_deadline: Optional[float] = None  # per-attempt wall-clock budget
+    ttl: Optional[float] = None            # heartbeat renewal increment
+    heartbeats: int = 0
+
+    def expiry(self, now: float) -> Optional[str]:
+        """Why this lease is expired at ``now`` (``"timeout"`` for the
+        hard budget, ``"lease"`` for missed heartbeats), or ``None``."""
+        if self.hard_deadline is not None and now >= self.hard_deadline:
+            return "timeout"
+        if self.deadline is not None and now >= self.deadline:
+            return "lease"
+        return None
+
+
+class LeaseTable:
+    """All currently granted leases, keyed by attempt id."""
+
+    def __init__(self):
+        self._leases: Dict[int, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, attempt_id: int) -> bool:
+        return attempt_id in self._leases
+
+    def grant(self, attempt_id: int, job_id: str, *, now: float,
+              ttl: Optional[float] = None,
+              timeout: Optional[float] = None,
+              worker_id: Optional[int] = None) -> Lease:
+        """Grant a lease at dispatch time. ``ttl`` arms the heartbeat
+        deadline (``now + ttl``), ``timeout`` the hard deadline."""
+        lease = Lease(
+            attempt_id=attempt_id, job_id=job_id, worker_id=worker_id,
+            deadline=(now + ttl) if ttl else None,
+            hard_deadline=(now + timeout) if timeout else None,
+            ttl=ttl)
+        self._leases[attempt_id] = lease
+        return lease
+
+    def bind(self, attempt_id: int, worker_id: Optional[int]) -> None:
+        """Record which worker actually picked the attempt up."""
+        lease = self._leases.get(attempt_id)
+        if lease is not None:
+            lease.worker_id = worker_id
+
+    def renew(self, attempt_id: int, now: float) -> Optional[Lease]:
+        """A heartbeat arrived: push the heartbeat deadline out by one
+        ttl. Returns the lease, or None for an unknown/expired-and-
+        released attempt (a straggler beat from a killed worker)."""
+        lease = self._leases.get(attempt_id)
+        if lease is None:
+            return None
+        lease.heartbeats += 1
+        if lease.ttl:
+            lease.deadline = now + lease.ttl
+        return lease
+
+    def release(self, attempt_id: int) -> Optional[Lease]:
+        """Drop a lease (result arrived, or the attempt was settled)."""
+        return self._leases.pop(attempt_id, None)
+
+    def expired(self, now: float) -> List[Tuple[Lease, str]]:
+        """Every lease past a deadline at ``now``, with its reason."""
+        out = []
+        for lease in self._leases.values():
+            reason = lease.expiry(now)
+            if reason is not None:
+                out.append((lease, reason))
+        return out
+
+    def next_deadline(self) -> Optional[float]:
+        """The earliest deadline of any kind, for poll-wait sizing."""
+        deadlines = []
+        for lease in self._leases.values():
+            if lease.deadline is not None:
+                deadlines.append(lease.deadline)
+            if lease.hard_deadline is not None:
+                deadlines.append(lease.hard_deadline)
+        return min(deadlines) if deadlines else None
+
+    def clear(self) -> None:
+        """Drop every lease (backend fallback re-queues all attempts)."""
+        self._leases.clear()

@@ -1,0 +1,114 @@
+"""Shared sweep-executor types: jobs, results, statuses, exit codes.
+
+Split out of :mod:`repro.jobs.runner` so the scheduler, the executor
+backends and the worker-side harness can all speak the same vocabulary
+without importing the runner facade (which imports all of them).
+
+A job value is always JSON-normalized (:func:`normalize_value`) before
+it is recorded, so the in-process path, the pickled pool path, the
+socket path and the JSON-resumed path are indistinguishable — the
+canonical-order merge of any backend is byte-identical to the serial
+run. :func:`result_digest` hashes that canonical form; workers send the
+digest alongside the value so the scheduler can detect a corrupted
+result (a worker-level ``corrupt_result`` fault, a torn shard line, a
+mangled socket frame) and retry instead of silently poisoning the merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults import EXIT_ABNORMAL, EXIT_BUDGET_EXCEEDED
+
+#: Exit-code conventions, mirroring ``python -m repro run`` / the fault
+#: harness: 3 is an abnormal death (deadlock there, a killed worker or
+#: an interrupted sweep here), 4 is a wall-clock/cycle budget overrun.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_CRASHED = EXIT_ABNORMAL
+EXIT_TIMEOUT = EXIT_BUDGET_EXCEEDED
+
+STATUS_EXIT = {
+    "ok": EXIT_OK,
+    "error": EXIT_ERROR,
+    "crashed": EXIT_CRASHED,
+    "timeout": EXIT_TIMEOUT,
+}
+
+#: Statuses that end a job (after retries are exhausted).
+TERMINAL_STATUSES = frozenset(STATUS_EXIT)
+
+
+def normalize_value(value):
+    """JSON round-trip so every result path (in-process, pickled pool,
+    socket stream, JSONL resume) records the exact same object shape."""
+    return json.loads(json.dumps(value))
+
+
+def result_digest(value) -> str:
+    """Short hex digest of a JSON-normalized job value.
+
+    Computed by the worker over the canonical encoding and verified by
+    the scheduler before the value is merged; a mismatch means the
+    result was corrupted somewhere between computation and delivery.
+    """
+    encoded = json.dumps(value, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent sweep cell.
+
+    ``job_id`` must be unique and stable across runs (it keys the
+    checkpoint); ``payload`` must be pure JSON types — it crosses a
+    process boundary and, on resume, a JSON round-trip.
+    """
+
+    job_id: str
+    payload: object = None
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job."""
+
+    job_id: str
+    status: str  # ok | error | timeout | crashed
+    value: object = None
+    error: Optional[str] = None
+    attempts: int = 1
+    resumed: bool = False
+    exit_code: int = field(init=False)
+
+    def __post_init__(self):
+        if self.status not in STATUS_EXIT:
+            raise ValueError(f"unknown job status {self.status!r}")
+        self.exit_code = STATUS_EXIT[self.status]
+
+    @property
+    def ok(self) -> bool:
+        """True when the job completed successfully."""
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        """The checkpoint/shard line payload for this result."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict, *, resumed: bool = False) -> "JobResult":
+        """Rebuild a result from its checkpoint line (raises
+        ``ValueError``/``KeyError`` on malformed payloads)."""
+        return cls(job_id=payload["job_id"], status=payload["status"],
+                   value=payload.get("value"), error=payload.get("error"),
+                   attempts=payload.get("attempts", 1), resumed=resumed)

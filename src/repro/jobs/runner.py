@@ -1,166 +1,85 @@
-"""The parallel sweep executor.
+"""The parallel sweep executor facade.
 
 Every sweep in the repo — differential seed sweeps, the perf scenario
-matrix, the figure regeneration loops — is a list of *independent* cells
-(seed × scheme × lifeguard, benchmark × thread count, ...). This module
-runs such a list across worker processes while keeping the output
+matrix, the figure regeneration loops — is a list of *independent*
+cells (seed × scheme × lifeguard, benchmark × thread count, ...).
+:class:`JobRunner` runs such a list across one of three pluggable
+backends (:mod:`repro.jobs.executors`) while keeping the output
 *indistinguishable from the serial run*:
 
 * **Deterministic sharding and merge.** The caller enumerates jobs in a
-  canonical order and each job gets a stable string id. Workers complete
-  in whatever order the OS schedules them, but results are merged back
-  in canonical job order, so the merged output of ``jobs=N`` is
+  canonical order and each job gets a stable string id. Workers
+  complete in whatever order the OS schedules them — or die, hang and
+  get reassigned — but results are merged back in canonical job order,
+  so the merged output of any backend/worker-count/chaos combination is
   byte-identical to ``jobs=1`` (the simulator itself is deterministic
   per seed; no wall-clock values are allowed into job values).
-* **Crash isolation.** A worker process dying (the ``repro.faults``
-  ``kill`` action, a segfault, an OOM kill) breaks the shared
-  ``ProcessPoolExecutor``; the runner rebuilds the pool, re-runs every
-  in-flight job once in its own single-worker *quarantine* pool to find
-  the culprit, and from then on keeps the culprit quarantined so it can
-  never sink a sibling again. Exit-code conventions follow the
-  ``repro`` CLI: 0 ok, 1 Python-level error, 3 abnormal death, 4
-  timeout.
-* **Timeouts and bounded retries.** Each job gets ``timeout`` seconds of
-  wall-clock per attempt and ``retries`` extra attempts; a hung worker
-  is terminated (the pool is rebuilt) without losing siblings' progress.
-* **Checkpoint/resume.** Every terminal result is appended to a JSONL
-  checkpoint as it lands; an interrupted sweep restarted with
-  ``resume=True`` skips exactly the checkpointed job ids and reuses
-  their recorded values. To make the pickle path (live pool results)
-  and the JSON path (resumed results) indistinguishable, every value is
-  normalized through a JSON round-trip before it is recorded.
+* **Leases and bounded retries.** Every dispatched attempt carries a
+  lease (:mod:`repro.jobs.leases`): heartbeats renew it, a hard
+  per-attempt ``timeout`` bounds it, and an expired lease kills the
+  owning worker and reassigns the job. All retries — failures and
+  reassignments alike — wait out a deterministic capped exponential
+  backoff (:mod:`repro.jobs.backoff`) instead of hammering immediately.
+* **Graceful degradation.** A backend that cannot start (or loses every
+  worker mid-run) falls down the explicit ladder ``socket → pool →
+  inline``, re-queuing outstanding attempts uncharged; the inline floor
+  always completes the sweep.
+* **Checkpoint/resume and shards.** Every terminal result is appended
+  to a JSONL checkpoint; an interrupted sweep restarted with
+  ``resume=True`` skips exactly the recovered job ids. When a shard
+  directory is configured, per-worker JSONL result shards
+  (:mod:`repro.jobs.shards`) are unioned in on resume, so even results
+  whose checkpoint line never landed (a dead coordinator) are not
+  recomputed. A ``KeyboardInterrupt`` mid-sweep flushes and fsyncs the
+  checkpoint before propagating, and the CLI exits with the documented
+  abnormal code (:data:`repro.faults.EXIT_ABNORMAL`).
 
 The ``worker`` callable must be a **module-level function** (it is
-pickled by reference into the worker processes) taking the job's JSON
+pickled by reference into worker processes) taking the job's JSON
 payload and returning a JSON-serializable value.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from collections import deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    TimeoutError as FuturesTimeoutError,
-    wait,
-)
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.faults import EXIT_ABNORMAL, EXIT_BUDGET_EXCEEDED
+from repro.faults import Fault
+from repro.jobs.backoff import BackoffPolicy
 from repro.jobs.checkpoint import CheckpointWriter, load_checkpoint
-
-#: Exit-code conventions, mirroring ``python -m repro run`` / the fault
-#: harness: 3 is an abnormal death (deadlock there, a killed worker
-#: here), 4 is a wall-clock/cycle budget overrun.
-EXIT_OK = 0
-EXIT_ERROR = 1
-EXIT_CRASHED = EXIT_ABNORMAL
-EXIT_TIMEOUT = EXIT_BUDGET_EXCEEDED
-
-_STATUS_EXIT = {
-    "ok": EXIT_OK,
-    "error": EXIT_ERROR,
-    "crashed": EXIT_CRASHED,
-    "timeout": EXIT_TIMEOUT,
-}
-
-#: Statuses that end a job (after retries are exhausted).
-TERMINAL_STATUSES = frozenset(_STATUS_EXIT)
-
-
-@dataclass(frozen=True)
-class Job:
-    """One independent sweep cell.
-
-    ``job_id`` must be unique and stable across runs (it keys the
-    checkpoint); ``payload`` must be pure JSON types — it crosses a
-    process boundary and, on resume, a JSON round-trip.
-    """
-
-    job_id: str
-    payload: object = None
-
-
-@dataclass
-class JobResult:
-    """Terminal outcome of one job."""
-
-    job_id: str
-    status: str  # ok | error | timeout | crashed
-    value: object = None
-    error: Optional[str] = None
-    attempts: int = 1
-    resumed: bool = False
-    exit_code: int = field(init=False)
-
-    def __post_init__(self):
-        if self.status not in _STATUS_EXIT:
-            raise ValueError(f"unknown job status {self.status!r}")
-        self.exit_code = _STATUS_EXIT[self.status]
-
-    @property
-    def ok(self) -> bool:
-        return self.status == "ok"
-
-    def to_json(self) -> dict:
-        return {
-            "job_id": self.job_id,
-            "status": self.status,
-            "value": self.value,
-            "error": self.error,
-            "attempts": self.attempts,
-            "exit_code": self.exit_code,
-        }
-
-    @classmethod
-    def from_json(cls, payload: dict, *, resumed: bool = False) -> "JobResult":
-        return cls(job_id=payload["job_id"], status=payload["status"],
-                   value=payload.get("value"), error=payload.get("error"),
-                   attempts=payload.get("attempts", 1), resumed=resumed)
-
-
-def _normalize(value):
-    """JSON round-trip so pool (pickle) and resume (JSON) paths agree."""
-    return json.loads(json.dumps(value))
-
-
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Hard-stop a pool whose workers may be hung: SIGTERM every worker
-    process, then reap. Safe on an already-broken pool."""
-    for proc in list(getattr(pool, "_processes", {}).values()):
-        try:
-            proc.terminate()
-        except (OSError, AttributeError):
-            pass
-    pool.shutdown(wait=True, cancel_futures=True)
-
-
-class _Attempt:
-    __slots__ = ("job", "attempts")
-
-    def __init__(self, job: Job, attempts: int = 1):
-        self.job = job
-        self.attempts = attempts
+from repro.jobs.executors import DEFAULT_HEARTBEAT, executor_ladder
+from repro.jobs.model import (  # noqa: F401 — re-exported for compat
+    EXIT_CRASHED,
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    Job,
+    JobResult,
+    TERMINAL_STATUSES,
+)
+from repro.jobs.scheduler import JobScheduler
+from repro.jobs.shards import load_shards
 
 
 class JobRunner:
     """Runs a canonical job list; see the module docstring.
 
-    ``nworkers=1`` is the fully serial path: jobs run in this process,
-    in order, with no pool, no pickling and no timeout enforcement —
-    bit-identical to the historical inline loops (checkpointing still
-    works). ``nworkers>1`` turns on the process pool, per-attempt
-    timeouts and crash isolation.
+    ``executor`` picks the backend: ``"auto"`` (the default) preserves
+    the historical mapping — ``nworkers=1`` runs inline (fully serial,
+    no pool, no pickling, no timeout enforcement, bit-identical to the
+    historical loops) and ``nworkers>1`` uses the process pool.
+    ``"socket"`` turns on the heartbeat-leased TCP-worker backend, and
+    every explicit choice degrades gracefully down the ladder when the
+    environment cannot support it.
     """
 
     def __init__(self, worker: Callable, *, nworkers: int = 1,
                  timeout: Optional[float] = None, retries: int = 1,
                  checkpoint_path: Optional[str] = None, resume: bool = False,
-                 tracer=None):
+                 executor: str = "auto",
+                 heartbeat: float = DEFAULT_HEARTBEAT,
+                 backoff: Optional[BackoffPolicy] = None,
+                 worker_faults: Sequence[Fault] = (), fault_seed: int = 0,
+                 shard_dir: Optional[str] = None, tracer=None):
         if nworkers < 1:
             raise ValueError("nworkers must be >= 1")
         if retries < 0:
@@ -173,16 +92,45 @@ class JobRunner:
         self.retries = retries
         self.checkpoint_path = checkpoint_path
         self.resume = resume
+        self.ladder: Tuple[str, ...] = executor_ladder(executor, nworkers)
+        self.heartbeat = heartbeat
+        self.backoff = backoff
+        self.worker_faults = tuple(worker_faults or ())
+        self.fault_seed = fault_seed
+        self.shard_dir = shard_dir
         self.tracer = tracer
-        #: Job ids that broke a shared pool once: they only ever run in
-        #: single-worker quarantine pools from then on.
-        self._quarantined = set()
 
     # -- tracing ---------------------------------------------------------------
 
     def _emit(self, event: str, **fields) -> None:
         if self.tracer is not None:
             self.tracer.emit("jobs", event, **fields)
+
+    # -- resume sources --------------------------------------------------------
+
+    def _recovered(self) -> Dict[str, JobResult]:
+        """Union the two recovery logs: the coordinator's checkpoint
+        (any terminal status) and the workers' shards (successful
+        results that may never have reached a checkpoint line)."""
+        results: Dict[str, JobResult] = {}
+        if not self.resume:
+            return results
+        for job_id, payload in load_checkpoint(self.checkpoint_path,
+                                               tracer=self.tracer).items():
+            results[job_id] = JobResult.from_json(payload, resumed=True)
+        from_shards = 0
+        if self.shard_dir:
+            records, skipped = load_shards(self.shard_dir)
+            for job_id, record in records.items():
+                if job_id not in results:
+                    results[job_id] = JobResult(job_id, "ok",
+                                                value=record["value"],
+                                                resumed=True)
+                    from_shards += 1
+            if skipped:
+                self._emit("shard_skipped", lines=skipped)
+        self._emit("resume", skipped=len(results), from_shards=from_shards)
+        return results
 
     # -- public API ------------------------------------------------------------
 
@@ -192,20 +140,35 @@ class JobRunner:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job ids in sweep")
 
-        results: Dict[str, JobResult] = {}
-        if self.resume:
-            for job_id, payload in load_checkpoint(self.checkpoint_path).items():
-                results[job_id] = JobResult.from_json(payload, resumed=True)
-            self._emit("resume", skipped=len(results))
-
+        results = self._recovered()
         todo = [job for job in jobs if job.job_id not in results]
         checkpoint = (CheckpointWriter(self.checkpoint_path)
                       if self.checkpoint_path else None)
+
+        def record(result: JobResult) -> None:
+            results[result.job_id] = result
+            if checkpoint is not None:
+                checkpoint.append(result.to_json())
+            self._emit("done", job=result.job_id, status=result.status,
+                       attempts=result.attempts)
+
+        scheduler = JobScheduler(
+            self.worker, ladder=self.ladder, nworkers=self.nworkers,
+            record=record, timeout=self.timeout, retries=self.retries,
+            backoff=self.backoff, heartbeat=self.heartbeat,
+            worker_faults=self.worker_faults, fault_seed=self.fault_seed,
+            shard_dir=self.shard_dir, tracer=self.tracer)
         try:
-            if self.nworkers == 1:
-                self._run_serial(todo, results, checkpoint)
-            else:
-                self._run_pool(todo, results, checkpoint)
+            scheduler.run(todo)
+        except KeyboardInterrupt:
+            # Satellite guarantee: an interrupt never loses a completed
+            # result — sync the checkpoint before propagating so the CLI
+            # can exit with the documented abnormal code.
+            if checkpoint is not None:
+                checkpoint.sync()
+            self._emit("interrupted", completed=len(results),
+                       remaining=len(jobs) - len(results))
+            raise
         finally:
             if checkpoint is not None:
                 checkpoint.close()
@@ -213,188 +176,19 @@ class JobRunner:
                    failed=sum(1 for r in results.values() if not r.ok))
         return [results[job_id] for job_id in ids]
 
-    # -- serial path -----------------------------------------------------------
-
-    def _run_serial(self, todo, results, checkpoint) -> None:
-        for job in todo:
-            attempts = 0
-            while True:
-                attempts += 1
-                self._emit("start", job=job.job_id, attempt=attempts)
-                try:
-                    value = self.worker(job.payload)
-                except Exception as exc:  # noqa: BLE001 — isolate the cell
-                    if attempts <= self.retries:
-                        self._emit("retry", job=job.job_id, status="error")
-                        continue
-                    result = JobResult(job.job_id, "error", error=repr(exc),
-                                       attempts=attempts)
-                else:
-                    result = JobResult(job.job_id, "ok",
-                                       value=_normalize(value),
-                                       attempts=attempts)
-                break
-            self._record(result, results, checkpoint)
-
-    # -- pool path -------------------------------------------------------------
-
-    def _record(self, result: JobResult, results, checkpoint) -> None:
-        results[result.job_id] = result
-        if checkpoint is not None:
-            checkpoint.append(result.to_json())
-        self._emit("done", job=result.job_id, status=result.status,
-                   attempts=result.attempts)
-
-    def _settle(self, attempt: _Attempt, status: str, pending, results,
-                checkpoint, *, value=None, error=None) -> None:
-        """An attempt finished with ``status``: retry or go terminal."""
-        if status == "ok":
-            self._record(JobResult(attempt.job.job_id, "ok",
-                                   value=_normalize(value),
-                                   attempts=attempt.attempts),
-                         results, checkpoint)
-            return
-        if attempt.attempts <= self.retries:
-            self._emit("retry", job=attempt.job.job_id, status=status)
-            pending.append(_Attempt(attempt.job, attempt.attempts + 1))
-            return
-        self._record(JobResult(attempt.job.job_id, status, error=error,
-                               attempts=attempt.attempts),
-                     results, checkpoint)
-
-    def _run_pool(self, todo, results, checkpoint) -> None:
-        pending = deque(_Attempt(job) for job in todo)
-        pool = ProcessPoolExecutor(max_workers=self.nworkers)
-        inflight: Dict[object, object] = {}  # future -> [attempt, deadline]
-        try:
-            while pending or inflight:
-                # Quarantined jobs never share a pool with siblings.
-                while pending and pending[0].job.job_id in self._quarantined:
-                    attempt = pending.popleft()
-                    status, value, error = self._run_quarantined(attempt)
-                    self._settle(attempt, status, pending, results,
-                                 checkpoint, value=value, error=error)
-                while pending and len(inflight) < self.nworkers:
-                    if pending[0].job.job_id in self._quarantined:
-                        break  # handled at the top of the loop
-                    attempt = pending.popleft()
-                    self._emit("start", job=attempt.job.job_id,
-                               attempt=attempt.attempts)
-                    future = pool.submit(self.worker, attempt.job.payload)
-                    deadline = (time.monotonic() + self.timeout
-                                if self.timeout else None)
-                    inflight[future] = [attempt, deadline]
-                if not inflight:
-                    continue
-
-                wait_for = None
-                deadlines = [d for _a, d in inflight.values() if d is not None]
-                if deadlines:
-                    wait_for = max(0.0, min(deadlines) - time.monotonic())
-                done, _ = wait(list(inflight), timeout=wait_for,
-                               return_when=FIRST_COMPLETED)
-
-                if not done:
-                    pool = self._reap_timeouts(pool, inflight, pending,
-                                               results, checkpoint)
-                    continue
-
-                broken = False
-                for future in done:
-                    attempt, _deadline = inflight.pop(future)
-                    try:
-                        value = future.result()
-                    except BrokenProcessPool:
-                        # The whole pool is poisoned; every other
-                        # in-flight future is about to fail the same
-                        # way. Handle them together.
-                        broken = True
-                        inflight[future] = [attempt, _deadline]
-                        break
-                    except Exception as exc:  # noqa: BLE001
-                        self._settle(attempt, "error", pending, results,
-                                     checkpoint, error=repr(exc))
-                    else:
-                        self._settle(attempt, "ok", pending, results,
-                                     checkpoint, value=value)
-                if broken:
-                    pool = self._recover_broken(pool, inflight, pending,
-                                                results, checkpoint)
-        finally:
-            _terminate_pool(pool)
-
-    def _reap_timeouts(self, pool, inflight, pending, results, checkpoint):
-        """Wall-clock deadline passed with nothing completing: the
-        expired jobs' workers are hung. Kill the pool (futures can't
-        cancel a *running* task), time out the expired attempts and
-        requeue the innocent in-flight siblings without charging them
-        an attempt."""
-        now = time.monotonic()
-        expired = [f for f, (_a, d) in inflight.items()
-                   if d is not None and now >= d]
-        if not expired:
-            return pool  # spurious wakeup; recompute and re-wait
-        _terminate_pool(pool)
-        for future, (attempt, _deadline) in list(inflight.items()):
-            if future in expired:
-                self._emit("timeout", job=attempt.job.job_id,
-                           attempt=attempt.attempts)
-                self._settle(attempt, "timeout", pending, results,
-                             checkpoint,
-                             error=f"exceeded {self.timeout}s wall-clock")
-            else:
-                pending.appendleft(attempt)  # innocent: same attempt count
-        inflight.clear()
-        return ProcessPoolExecutor(max_workers=self.nworkers)
-
-    def _recover_broken(self, pool, inflight, pending, results, checkpoint):
-        """A worker process died and poisoned the shared pool. Rebuild
-        it, then re-run every in-flight job once in its own quarantine
-        pool: innocents complete unharmed (no attempt charged), the
-        culprit crashes alone and is retried/failed under the normal
-        bounded-retry rules — and stays quarantined for good."""
-        affected = [attempt for attempt, _d in inflight.values()]
-        inflight.clear()
-        _terminate_pool(pool)
-        self._emit("pool_broken", affected=len(affected))
-        for attempt in affected:
-            status, value, error = self._run_quarantined(attempt)
-            if status == "crashed":
-                self._quarantined.add(attempt.job.job_id)
-                self._settle(attempt, "crashed", pending, results,
-                             checkpoint, error=error)
-            else:
-                self._settle(attempt, status, pending, results, checkpoint,
-                             value=value, error=error)
-        return ProcessPoolExecutor(max_workers=self.nworkers)
-
-    def _run_quarantined(self, attempt: _Attempt):
-        """One attempt in a dedicated single-worker pool."""
-        self._emit("quarantine", job=attempt.job.job_id,
-                   attempt=attempt.attempts)
-        solo = ProcessPoolExecutor(max_workers=1)
-        try:
-            future = solo.submit(self.worker, attempt.job.payload)
-            try:
-                value = future.result(timeout=self.timeout)
-            except FuturesTimeoutError:
-                return ("timeout", None,
-                        f"exceeded {self.timeout}s wall-clock")
-            except BrokenProcessPool:
-                return ("crashed", None, "worker process died")
-            except Exception as exc:  # noqa: BLE001
-                return ("error", None, repr(exc))
-            return ("ok", value, None)
-        finally:
-            _terminate_pool(solo)
-
 
 def run_jobs(jobs: List[Job], worker: Callable, *, nworkers: int = 1,
              timeout: Optional[float] = None, retries: int = 1,
              checkpoint_path: Optional[str] = None, resume: bool = False,
-             tracer=None) -> List[JobResult]:
+             executor: str = "auto", heartbeat: float = DEFAULT_HEARTBEAT,
+             backoff: Optional[BackoffPolicy] = None,
+             worker_faults: Sequence[Fault] = (), fault_seed: int = 0,
+             shard_dir: Optional[str] = None, tracer=None) -> List[JobResult]:
     """Convenience wrapper: build a :class:`JobRunner` and run it."""
     runner = JobRunner(worker, nworkers=nworkers, timeout=timeout,
                        retries=retries, checkpoint_path=checkpoint_path,
-                       resume=resume, tracer=tracer)
+                       resume=resume, executor=executor, heartbeat=heartbeat,
+                       backoff=backoff, worker_faults=worker_faults,
+                       fault_seed=fault_seed, shard_dir=shard_dir,
+                       tracer=tracer)
     return runner.run(jobs)

@@ -1,0 +1,344 @@
+"""The backend-agnostic sweep scheduler: leases, retries, degradation.
+
+:class:`JobScheduler` owns every policy decision the backends must not
+make: when an attempt is charged, when a job is retried (with the
+deterministic capped backoff of :mod:`repro.jobs.backoff`), when a
+lease has expired and its worker must be killed and the job reassigned,
+when a delivered value fails its integrity digest, and when the current
+backend is beyond saving and the sweep falls down the degradation
+ladder (``socket → pool → inline``). The backends only report facts as
+:class:`~repro.jobs.executors.ExecutorEvent` streams.
+
+The core loop is: dispatch every due pending attempt while the backend
+has capacity, poll the backend for events (sized so the wait never
+sleeps past the next backoff due-time or lease deadline), apply the
+events, then expire leases. Events are applied *before* expiry is
+checked, so a result that raced its own deadline wins — the job
+completed; killing the worker for it would only waste work.
+
+Every decision is traced through the ``jobs`` category: ``start`` /
+``done`` / ``retry`` / ``timeout`` / ``quarantine`` / ``pool_broken``
+(the PR-4 vocabulary, unchanged) plus ``lease_expired``,
+``worker_lost``, ``worker_spawned``, ``requeued``, ``corrupt_result``
+and ``degrade``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.jobs.backoff import BackoffPolicy
+from repro.jobs.executors import (
+    ExecutorError,
+    ExecutorEvent,
+    create_executor,
+)
+from repro.jobs.leases import LeaseTable
+from repro.jobs.model import Job, JobResult, normalize_value, result_digest
+
+#: Missed-heartbeat tolerance: a lease's heartbeat deadline is
+#: ``LEASE_BEATS`` heartbeat intervals out, renewed by every beat — one
+#: delayed beat must never kill a healthy worker.
+LEASE_BEATS = 4
+
+#: Upper bound on any single poll wait: liveness checks (a backend whose
+#: workers silently refuse to connect) must run even when no lease
+#: deadline or backoff due-time is near.
+POLL_CAP = 1.0
+
+
+class _Attempt:
+    """One charged attempt of one job (a fresh id per dispatch, so a
+    straggler event from a killed attempt can never settle its
+    replacement)."""
+
+    __slots__ = ("job", "attempts", "attempt_id")
+
+    def __init__(self, job: Job, attempts: int, attempt_id: int):
+        self.job = job
+        self.attempts = attempts
+        self.attempt_id = attempt_id
+
+
+class JobScheduler:
+    """Drives one sweep's job list through the executor ladder.
+
+    ``record`` is called exactly once per job with its terminal
+    :class:`JobResult` — the runner wires it to the in-memory merge map
+    and the checkpoint writer.
+    """
+
+    def __init__(self, worker: Callable, *, ladder: Tuple[str, ...],
+                 nworkers: int, record: Callable[[JobResult], None],
+                 timeout: Optional[float] = None, retries: int = 1,
+                 backoff: Optional[BackoffPolicy] = None,
+                 heartbeat: float = 0.5,
+                 worker_faults: Tuple = (), fault_seed: int = 0,
+                 shard_dir: Optional[str] = None, tracer=None):
+        self.worker = worker
+        self.ladder = tuple(ladder)
+        self.nworkers = nworkers
+        self.record = record
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.heartbeat = heartbeat
+        self.worker_faults = tuple(worker_faults or ())
+        self.fault_seed = fault_seed
+        self.shard_dir = shard_dir
+        self.tracer = tracer
+        self._rung = 0
+        self._executor = None
+        self._seq = 0
+        self._next_attempt_id = 0
+        self._pending: List[Tuple[float, int, _Attempt]] = []  # heapq
+        self._inflight: Dict[int, _Attempt] = {}
+        self._leases = LeaseTable()
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("jobs", event, **fields)
+
+    # -- ladder ----------------------------------------------------------------
+
+    def _start_executor(self) -> None:
+        """Start the current rung's backend, falling down the ladder
+        until one comes up (the inline floor always does)."""
+        while True:
+            name = self.ladder[self._rung]
+            executor = create_executor(
+                name, self.worker, self.nworkers, timeout=self.timeout,
+                heartbeat=self.heartbeat, worker_faults=self.worker_faults,
+                fault_seed=self.fault_seed, shard_dir=self.shard_dir)
+            try:
+                executor.start()
+            except ExecutorError as exc:
+                self._degrade(reason=str(exc))
+                continue
+            self._executor = executor
+            return
+
+    def _degrade(self, *, reason: str) -> None:
+        """Fall one rung down the ladder (raises past the floor)."""
+        if self._rung + 1 >= len(self.ladder):
+            raise ExecutorError(
+                f"executor ladder exhausted at {self.ladder[self._rung]!r}: "
+                f"{reason}")
+        self._emit("degrade", from_executor=self.ladder[self._rung],
+                   to_executor=self.ladder[self._rung + 1], reason=reason)
+        self._rung += 1
+
+    def _fall_back(self, *, reason: str) -> None:
+        """The live backend failed mid-run: re-queue every outstanding
+        attempt *uncharged* (the backend's failure is not the jobs'
+        fault), tear it down and bring up the next rung."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.stop()
+            except Exception:  # noqa: BLE001 — already beyond saving
+                pass
+        now = time.monotonic()
+        for attempt in list(self._inflight.values()):
+            self._requeue(attempt, now, reason="executor fallback")
+        self._inflight.clear()
+        self._leases.clear()
+        self._degrade(reason=reason)
+        self._start_executor()
+
+    # -- queue helpers ---------------------------------------------------------
+
+    def _push(self, attempt: _Attempt, due: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._pending, (due, self._seq, attempt))
+
+    def _requeue(self, attempt: _Attempt, now: float, *, reason: str) -> None:
+        """Put an attempt back without charging it (innocent collateral:
+        an aborted pool sibling, a backend fallback)."""
+        self._emit("requeued", job=attempt.job.job_id,
+                   attempt=attempt.attempts, reason=reason)
+        self._push(_Attempt(attempt.job, attempt.attempts,
+                            self._take_attempt_id()), now)
+
+    def _take_attempt_id(self) -> int:
+        self._next_attempt_id += 1
+        return self._next_attempt_id
+
+    # -- lease helpers ---------------------------------------------------------
+
+    def _grant(self, attempt: _Attempt, now: float,
+               worker_id: Optional[int] = None) -> None:
+        if not self._executor.enforces_deadlines:
+            return
+        ttl = (self.heartbeat * LEASE_BEATS
+               if self._executor.supports_heartbeats and self.heartbeat
+               else None)
+        self._leases.grant(attempt.attempt_id, attempt.job.job_id, now=now,
+                           ttl=ttl, timeout=self.timeout,
+                           worker_id=worker_id)
+
+    # -- the main loop ---------------------------------------------------------
+
+    def run(self, jobs: List[Job]) -> None:
+        """Drive every job to a terminal, recorded result."""
+        now = time.monotonic()
+        for job in jobs:
+            self._push(_Attempt(job, 1, self._take_attempt_id()), now)
+        self._start_executor()
+        try:
+            while self._pending or self._inflight:
+                try:
+                    self._turn()
+                except ExecutorError as exc:
+                    self._fall_back(reason=str(exc))
+        finally:
+            executor, self._executor = self._executor, None
+            if executor is not None:
+                executor.stop()
+
+    def _turn(self) -> None:
+        """One scheduling turn: dispatch, poll, apply, expire."""
+        now = time.monotonic()
+        while (self._pending and self._pending[0][0] <= now
+               and self._executor.can_accept()):
+            _due, _seq, attempt = heapq.heappop(self._pending)
+            self._inflight[attempt.attempt_id] = attempt
+            self._emit("start", job=attempt.job.job_id,
+                       attempt=attempt.attempts,
+                       executor=self._executor.name)
+            self._grant(attempt, now)
+            self._executor.submit(attempt.attempt_id, attempt.job)
+        for event in self._executor.poll(self._wait_time(time.monotonic())):
+            self._apply(event)
+        self._expire(time.monotonic())
+
+    def _wait_time(self, now: float) -> Optional[float]:
+        """How long the backend may sleep: never past the next backoff
+        due-time, the next lease deadline, or :data:`POLL_CAP`."""
+        candidates = [POLL_CAP]
+        if self._pending:
+            candidates.append(max(0.0, self._pending[0][0] - now))
+        next_deadline = self._leases.next_deadline()
+        if next_deadline is not None:
+            candidates.append(max(0.0, next_deadline - now))
+        return min(candidates)
+
+    # -- event application -----------------------------------------------------
+
+    def _apply(self, event: ExecutorEvent) -> None:
+        handler = getattr(self, f"_on_{event.kind}", None)
+        if handler is not None:
+            handler(event)
+
+    def _on_dispatched(self, event: ExecutorEvent) -> None:
+        """A queued attempt physically reached a worker: (re)arm its
+        lease from *now*, so queue time never eats the attempt budget."""
+        attempt = self._inflight.get(event.attempt_id)
+        if attempt is None:
+            return
+        self._grant(attempt, time.monotonic(), worker_id=event.worker_id)
+
+    def _on_heartbeat(self, event: ExecutorEvent) -> None:
+        """Renew the beating attempt's lease (hard deadline untouched)."""
+        if event.attempt_id is not None:
+            self._leases.renew(event.attempt_id, time.monotonic())
+
+    def _on_result(self, event: ExecutorEvent) -> None:
+        """A value (or failure) arrived; verify integrity and settle."""
+        attempt = self._inflight.pop(event.attempt_id, None)
+        if attempt is None:
+            return  # straggler from an attempt the scheduler already killed
+        self._leases.release(event.attempt_id)
+        if event.status == "ok":
+            value = normalize_value(event.value)
+            if event.digest is not None and result_digest(value) != event.digest:
+                self._emit("corrupt_result", job=attempt.job.job_id,
+                           attempt=attempt.attempts,
+                           expected=event.digest)
+                self._settle(attempt, "error",
+                             error="result integrity digest mismatch")
+                return
+            self._settle(attempt, "ok", value=value)
+            return
+        self._settle(attempt, event.status or "error", error=event.error)
+
+    def _on_worker_lost(self, event: ExecutorEvent) -> None:
+        """The worker owning an attempt died (socket EOF, dead process):
+        charge the attempt as crashed and let the retry policy reassign."""
+        attempt = self._inflight.pop(event.attempt_id, None)
+        if attempt is None:
+            return
+        self._leases.release(event.attempt_id)
+        self._emit("worker_lost", job=attempt.job.job_id,
+                   worker=event.worker_id, reason=event.reason)
+        self._settle(attempt, "crashed",
+                     error=f"worker died ({event.reason})")
+
+    def _on_aborted(self, event: ExecutorEvent) -> None:
+        """Innocent collateral of a pool teardown: re-queue uncharged."""
+        attempt = self._inflight.pop(event.attempt_id, None)
+        if attempt is None:
+            return
+        self._leases.release(event.attempt_id)
+        self._requeue(attempt, time.monotonic(),
+                      reason=event.reason or "aborted")
+
+    def _on_worker_spawned(self, event: ExecutorEvent) -> None:
+        self._emit("worker_spawned", worker=event.worker_id)
+
+    def _on_quarantine(self, event: ExecutorEvent) -> None:
+        attempt = self._inflight.get(event.attempt_id)
+        if attempt is not None:
+            self._emit("quarantine", job=attempt.job.job_id,
+                       attempt=attempt.attempts)
+
+    def _on_pool_broken(self, event: ExecutorEvent) -> None:
+        self._emit("pool_broken", reason=event.reason)
+
+    # -- lease expiry ----------------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        for lease, reason in self._leases.expired(now):
+            attempt = self._inflight.pop(lease.attempt_id, None)
+            self._leases.release(lease.attempt_id)
+            if attempt is None:
+                continue
+            for event in self._executor.kill_attempt(lease.attempt_id,
+                                                     reason):
+                self._apply(event)  # aborted siblings, respawns
+            if reason == "timeout":
+                self._emit("timeout", job=attempt.job.job_id,
+                           attempt=attempt.attempts)
+                self._settle(attempt, "timeout",
+                             error=f"exceeded {self.timeout}s wall-clock")
+            else:
+                self._emit("lease_expired", job=attempt.job.job_id,
+                           attempt=attempt.attempts, worker=lease.worker_id,
+                           heartbeats=lease.heartbeats)
+                self._settle(attempt, "crashed",
+                             error="lease expired (missed heartbeats)")
+
+    # -- settlement ------------------------------------------------------------
+
+    def _settle(self, attempt: _Attempt, status: str, *, value=None,
+                error=None) -> None:
+        """An attempt finished with ``status``: retry (with backoff) or
+        record the terminal result."""
+        if status == "ok":
+            self.record(JobResult(attempt.job.job_id, "ok", value=value,
+                                  attempts=attempt.attempts))
+            return
+        if attempt.attempts <= self.retries:
+            delay = self.backoff.delay(attempt.job.job_id, attempt.attempts)
+            self._emit("retry", job=attempt.job.job_id, status=status,
+                       delay=round(delay, 4))
+            self._push(_Attempt(attempt.job, attempt.attempts + 1,
+                                self._take_attempt_id()),
+                       time.monotonic() + delay)
+            return
+        self.record(JobResult(attempt.job.job_id, status, error=error,
+                              attempts=attempt.attempts))

@@ -272,7 +272,7 @@ def _scenario_job(payload: dict) -> dict:
 
 def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
               checkpoint_path: Optional[str] = None, resume: bool = False,
-              tracer=None) -> Dict[str, object]:
+              executor: str = "auto", tracer=None) -> Dict[str, object]:
     """Run every scenario in ``suite``; returns the suite result dict.
 
     ``jobs=1`` (the default) is the historical in-process loop and keeps
@@ -280,7 +280,8 @@ def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
     matrix out over the :mod:`repro.jobs` executor (wall-clock numbers
     are then measured inside each worker, so rates stay meaningful).
     """
-    if jobs == 1 and checkpoint_path is None and not resume:
+    if (jobs == 1 and checkpoint_path is None and not resume
+            and executor == "auto"):
         scenarios = {}
         for name, fn in _suite_scenarios(suite).items():
             scenarios[name] = run_scenario(fn, repeats=repeats)
@@ -293,7 +294,7 @@ def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
                  {"suite": suite, "name": name, "repeats": repeats})
              for name in names],
             _scenario_job, nworkers=jobs, checkpoint_path=checkpoint_path,
-            resume=resume, tracer=tracer)
+            resume=resume, executor=executor, tracer=tracer)
         scenarios = {}
         for name, result in zip(names, results):
             if not result.ok:
@@ -311,14 +312,15 @@ def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
 
 def build_report(suites=("quick",), repeats: int = 3, jobs: int = 1,
                  checkpoint_path: Optional[str] = None,
-                 resume: bool = False) -> Dict[str, object]:
+                 resume: bool = False,
+                 executor: str = "auto") -> Dict[str, object]:
     """Full machine-readable report (the ``BENCH_perf.json`` payload)."""
     return {
         "schema": SCHEMA,
         "calibration_seconds": round(calibrate(), 4),
         "suites": {suite: run_suite(suite, repeats=repeats, jobs=jobs,
                                     checkpoint_path=checkpoint_path,
-                                    resume=resume)
+                                    resume=resume, executor=executor)
                    for suite in suites},
     }
 
@@ -441,6 +443,10 @@ def main(argv=None) -> int:
                         help="JSONL checkpoint for interrupted-run resume")
     parser.add_argument("--resume", action="store_true",
                         help="skip scenarios already in --checkpoint")
+    parser.add_argument("--executor",
+                        choices=["auto", "inline", "pool", "socket"],
+                        default="auto",
+                        help="sweep backend for --jobs (default auto)")
     args = parser.parse_args(argv)
 
     suites = SUITES if args.suite == "all" else (args.suite,)
@@ -449,7 +455,7 @@ def main(argv=None) -> int:
 
     report = build_report(suites=suites, repeats=args.repeats,
                           jobs=args.jobs, checkpoint_path=args.checkpoint,
-                          resume=args.resume)
+                          resume=args.resume, executor=args.executor)
     for suite in suites:
         print(format_suite(suite, report["suites"][suite]))
     print(f"calibration: {report['calibration_seconds']:.4f}s")

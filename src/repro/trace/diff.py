@@ -539,28 +539,39 @@ def differential_sweep(seeds, lifeguards=None, nthreads: int = 2,
                        length: int = 18, jobs: int = 1,
                        checkpoint_path: str = None, resume: bool = False,
                        timeout: float = None, retries: int = 1,
-                       tracer=None) -> List[DiffReport]:
+                       executor: str = "auto", heartbeat: float = None,
+                       backoff=None, worker_faults=(), fault_seed: int = 0,
+                       shard_dir: str = None, tracer=None) -> List[DiffReport]:
     """Run :func:`differential_check` over a seed range; returns all
     reports in canonical (seed, lifeguard) order (callers assert
     ``all(r.ok for r in reports)``).
 
     ``jobs=1`` with no checkpointing is the historical in-process loop;
-    ``jobs=N`` fans the cells out over the :mod:`repro.jobs` executor,
-    whose canonical-order merge keeps the result list — and its
-    serialized form — byte-identical to the serial run.
+    ``jobs=N`` fans the cells out over the :mod:`repro.jobs` executor
+    (``executor`` picks the backend: ``auto``/``inline``/``pool``/
+    ``socket``), whose canonical-order merge keeps the result list —
+    and its serialized form — byte-identical to the serial run even
+    under worker-level chaos faults (``worker_faults``/``fault_seed``)
+    and per-worker result shards (``shard_dir``).
     """
-    if jobs == 1 and checkpoint_path is None and not resume:
+    if (jobs == 1 and checkpoint_path is None and not resume
+            and executor == "auto" and not worker_faults and not shard_dir):
         lifeguards = tuple(lifeguards or sorted(LIFEGUARDS))
         return [differential_check(seed, lifeguard=name, nthreads=nthreads,
                                    length=length)
                 for seed in seeds for name in lifeguards]
 
-    from repro.jobs import run_jobs
+    from repro.jobs import DEFAULT_HEARTBEAT, run_jobs
 
     results = run_jobs(sweep_jobs(seeds, lifeguards, nthreads, length),
                        diff_job, nworkers=jobs, timeout=timeout,
                        retries=retries, checkpoint_path=checkpoint_path,
-                       resume=resume, tracer=tracer)
+                       resume=resume, executor=executor,
+                       heartbeat=(DEFAULT_HEARTBEAT if heartbeat is None
+                                  else heartbeat),
+                       backoff=backoff, worker_faults=worker_faults,
+                       fault_seed=fault_seed, shard_dir=shard_dir,
+                       tracer=tracer)
     reports = []
     for result in results:
         if not result.ok:

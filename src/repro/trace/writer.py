@@ -52,7 +52,9 @@ from repro.common.errors import ConfigurationError
 #: advert   progress publishes, delayed-advertising holds/flushes
 #: accel    IT absorb/condense, IF hit/miss, M-TLB hit/miss
 #: meta     lifeguard metadata writes
-#: jobs     parallel sweep executor: job start/done/retry/resume
+#: jobs     parallel sweep executor: job start/done/retry/resume,
+#:          leases (lease_expired/timeout), workers (worker_spawned/
+#:          worker_lost), backend degradation, corrupt results
 #: ======== ======================================================
 CATEGORIES = ("engine", "arc", "ca", "advert", "accel", "meta", "jobs")
 

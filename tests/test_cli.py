@@ -56,6 +56,22 @@ class TestCommands:
                      "--no-accel"]) == 0
         assert "parallel/dekker" in capsys.readouterr().out
 
+    def test_diff_trace_streams_jobs_events(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "sweep.jsonl"
+        assert main(["diff", "--seeds", "2", "--lifeguards", "addrcheck",
+                     "--jobs", "2", "--trace", str(trace)]) == 0
+        events = [json.loads(line)["event"]
+                  for line in trace.read_text().splitlines()]
+        assert "start" in events and "done" in events
+        assert events[-1] == "sweep_done"
+        assert "2 cells, 0 failed" in capsys.readouterr().out
+
+    def test_diff_bad_trace_filter_rejected(self, capsys):
+        assert main(["diff", "--seeds", "1", "--trace", "-",
+                     "--trace-filter", "bogus"]) == 2
+        assert "unknown trace categories" in capsys.readouterr().err
+
     def test_figure6_subset(self, capsys):
         assert main(["figure6", "--benchmarks", "lu",
                      "--thread-counts", "1", "2"]) == 0

@@ -103,6 +103,42 @@ class TestFaultPlanUnit:
             parse_fault_spec("arc:drop:wat")
 
 
+class TestWorkerFaultSites:
+    """Parsing and validation of the sweep-worker chaos sites added for
+    the elastic executors (``worker``, ``worker_heartbeat``,
+    ``worker_connect``)."""
+
+    def test_worker_sites_registered(self):
+        from repro.faults import FAULT_SITES, WORKER_FAULT_SITES
+        assert WORKER_FAULT_SITES == ("worker", "worker_heartbeat",
+                                      "worker_connect")
+        assert set(WORKER_FAULT_SITES) <= set(FAULT_SITES)
+
+    def test_parse_worker_kill_spec(self):
+        fault = parse_fault_spec("worker:kill:after=2")
+        assert (fault.site, fault.action, fault.after) == \
+            ("worker", "kill", 2)
+        hang = parse_fault_spec("worker:hang:after=1:count=1:param=60")
+        assert (hang.action, hang.param) == ("hang", 60)
+        assert parse_fault_spec("worker:corrupt_result:after=1").action == \
+            "corrupt_result"
+
+    def test_parse_heartbeat_and_connect_specs(self):
+        drop = parse_fault_spec("worker_heartbeat:drop:t1:count=100000")
+        assert (drop.site, drop.tid, drop.count) == \
+            ("worker_heartbeat", 1, 100000)
+        refuse = parse_fault_spec("worker_connect:refuse:t0")
+        assert (refuse.site, refuse.action) == ("worker_connect", "refuse")
+
+    def test_worker_site_rejects_foreign_actions(self):
+        with pytest.raises(ConfigurationError):
+            Fault(site="worker", action="drop")  # drop is an arc action
+        with pytest.raises(ConfigurationError):
+            Fault(site="worker_heartbeat", action="kill")
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec("worker_connect:corrupt_result")
+
+
 class TestDisabledPlanDeterminism:
     def test_empty_plan_reproduces_unfaulted_run_exactly(self):
         baseline = run_faulted(None)

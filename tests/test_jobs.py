@@ -170,14 +170,28 @@ class TestCheckpointResume:
         path = tmp_path / "sweep.jsonl"
         good = JobResult("a", "ok", value=1).to_json()
         path.write_text(json.dumps(good) + "\n" + '{"job_id": "b", "sta')
-        assert sorted(load_checkpoint(str(path))) == ["a"]
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            assert sorted(load_checkpoint(str(path))) == ["a"]
 
-    def test_corrupt_interior_line_raises(self, tmp_path):
+    def test_corrupt_interior_line_skipped_counted_and_warned(self, tmp_path):
+        """Hardened behavior: a damaged interior line (a previous
+        coordinator died holding the file) is skipped and warned about,
+        not fatal — the lost job simply re-runs on resume."""
         path = tmp_path / "sweep.jsonl"
         good = JobResult("a", "ok", value=1).to_json()
-        path.write_text("garbage\n" + json.dumps(good) + "\n")
-        with pytest.raises(ValueError, match="corrupt"):
-            load_checkpoint(str(path))
+        path.write_text("garbage\n" + json.dumps(good) + "\n"
+                        + '{"no_job_id": true}\n')
+        with pytest.warns(UserWarning, match="skipped 2 corrupt"):
+            assert sorted(load_checkpoint(str(path))) == ["a"]
+
+    def test_corrupt_lines_traced_on_jobs_category(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("garbage\n")
+        tracer = TraceWriter(categories=("jobs",), keep=True)
+        with pytest.warns(UserWarning):
+            load_checkpoint(str(path), tracer=tracer)
+        events = [e for e in tracer.events if e["event"] == "checkpoint_skipped"]
+        assert events and events[0]["lines"] == 1
 
     def test_resume_requires_checkpoint_path(self):
         with pytest.raises(ValueError, match="resume"):

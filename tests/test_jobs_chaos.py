@@ -1,0 +1,179 @@
+"""Chaos tests: byte-identical recovery under injected worker faults.
+
+The differential and unit sweeps here murder, hang, silence and corrupt
+sweep workers on purpose (the ``worker*`` sites of :mod:`repro.faults`)
+and assert the executor's two contracts survive every time:
+
+1. **Byte-identical merge** — the canonical-order merge of a chaos-ridden
+   parallel sweep equals the serial run, byte for byte.
+2. **Bounded retries** — no job is ever charged more than ``retries + 1``
+   attempts, no matter how many workers die around it.
+
+The matrix runs {kill, hang, drop-heartbeat, corrupt-result} × {pool,
+socket}. Heartbeat dropping is inert on the pool backend (it has no
+heartbeats — the hard deadline is its only liveness signal), which is
+itself worth pinning: arming the site must not perturb a backend that
+never fires it.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import parse_fault_spec
+from repro.jobs import BackoffPolicy, Job, load_checkpoint, run_jobs
+from repro.trace.diff import differential_sweep, report_payload, sweep_jobs, \
+    diff_job
+from repro.trace.writer import TraceWriter
+from tests.test_jobs import _jobs, misbehaving_worker, square_worker
+
+#: Fast deterministic backoff so chaos tests stay quick but still
+#: exercise the delayed-requeue path.
+_BACKOFF = BackoffPolicy(base=0.05, cap=0.2)
+
+
+def _sleep_jobs(n, seconds):
+    return [Job(f"j{i}", {"n": i, "sleep": seconds}) for i in range(n)]
+
+
+#: (name, executor, fault specs, extra run_jobs kwargs, job list factory).
+#: Socket faults can target worker ids (``t1``); pool workers have no
+#: stable ids, so pool cases scope by ``after``/``count`` per process.
+CHAOS_MATRIX = [
+    ("kill-socket", "socket", ["worker:kill:after=2"],
+     dict(heartbeat=0.1), lambda: _jobs(6)),
+    ("kill-pool", "pool", ["worker:kill:after=2:count=1"],
+     {}, lambda: _jobs(6)),
+    ("hang-socket", "socket", ["worker:hang:after=2:param=60"],
+     dict(heartbeat=0.1, timeout=1.5), lambda: _jobs(6)),
+    ("hang-pool", "pool", ["worker:hang:after=2:count=1:param=60"],
+     dict(timeout=1.0), lambda: _jobs(6)),
+    # jobs must outlive the lease ttl (4 beats = 0.4s) for the silence
+    # to matter; the healthy worker keeps beating and is never touched
+    ("drop-heartbeat-socket", "socket",
+     ["worker_heartbeat:drop:t1:count=100000"],
+     dict(heartbeat=0.1), lambda: _sleep_jobs(4, 0.6)),
+    ("drop-heartbeat-pool", "pool",
+     ["worker_heartbeat:drop:t1:count=100000"],
+     {}, lambda: _jobs(6)),
+    ("corrupt-result-socket", "socket", ["worker:corrupt_result:after=1"],
+     dict(heartbeat=0.1), lambda: _jobs(6)),
+    ("corrupt-result-pool", "pool",
+     ["worker:corrupt_result:after=1:count=1"],
+     {}, lambda: _jobs(6)),
+]
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize(
+        "name,executor,specs,extra,jobs_factory", CHAOS_MATRIX,
+        ids=[case[0] for case in CHAOS_MATRIX])
+    def test_merge_byte_identical_and_retries_bounded(
+            self, name, executor, specs, extra, jobs_factory):
+        jobs = jobs_factory()
+        serial = [r.to_json()["value"] for r in
+                  run_jobs(jobs, misbehaving_worker)]
+        retries = 3
+        tracer = TraceWriter(categories=("jobs",), keep=True)
+        results = run_jobs(
+            jobs, misbehaving_worker, nworkers=2, executor=executor,
+            retries=retries, backoff=_BACKOFF,
+            worker_faults=tuple(parse_fault_spec(s) for s in specs),
+            fault_seed=11, tracer=tracer, **extra)
+        assert [r.to_json()["value"] for r in results] == serial
+        assert all(r.ok for r in results)
+        assert all(r.attempts <= retries + 1 for r in results)
+
+    def test_corrupt_result_is_detected_not_merged(self):
+        """The integrity digest catches the mangled value: the sweep
+        retries instead of recording garbage, and the decision lands on
+        the jobs trace."""
+        tracer = TraceWriter(categories=("jobs",), keep=True)
+        results = run_jobs(
+            _jobs(4), square_worker, nworkers=2, executor="socket",
+            heartbeat=0.1, retries=3, backoff=_BACKOFF,
+            worker_faults=(parse_fault_spec("worker:corrupt_result:after=1"),),
+            tracer=tracer)
+        assert all(r.ok for r in results)
+        names = [e["event"] for e in tracer.events]
+        assert "corrupt_result" in names
+        assert not any("__corrupted__" in json.dumps(r.value)
+                       for r in results)
+
+    def test_killed_socket_worker_is_traced_and_replaced(self):
+        tracer = TraceWriter(categories=("jobs",), keep=True)
+        results = run_jobs(
+            _jobs(6), square_worker, nworkers=2, executor="socket",
+            heartbeat=0.1, retries=3, backoff=_BACKOFF,
+            worker_faults=(parse_fault_spec("worker:kill:after=2"),),
+            tracer=tracer)
+        assert all(r.ok for r in results)
+        names = [e["event"] for e in tracer.events]
+        assert names.count("worker_lost") >= 1
+        # replacements get fresh worker ids beyond the initial fleet
+        spawned = {e["worker"] for e in tracer.events
+                   if e["event"] == "worker_spawned"}
+        assert len(spawned) > 2
+
+
+class TestChaosDiffSweep:
+    """Tier-1 guard for the ISSUE acceptance criterion, small edition:
+    a socket differential sweep with a murdered worker merges byte-
+    identical to serial (the full 25-seed version is in the slow tier)."""
+
+    def test_socket_sweep_with_worker_kill_matches_serial(self):
+        kwargs = dict(lifeguards=("addrcheck",), nthreads=2)
+        serial = differential_sweep(range(3), **kwargs)
+        chaos = differential_sweep(
+            range(3), jobs=2, executor="socket", heartbeat=0.1, retries=3,
+            backoff=_BACKOFF,
+            worker_faults=(parse_fault_spec("worker:kill:after=1"),),
+            **kwargs)
+        as_bytes = lambda reports: json.dumps(
+            [report_payload(r) for r in reports], sort_keys=True)
+        assert as_bytes(serial) == as_bytes(chaos)
+
+
+@pytest.mark.slow
+class TestChaosSweepAcceptance:
+    """ISSUE 6 acceptance, full size: the 25-seed differential sweep on
+    the socket backend with an injected worker murder — and the same
+    sweep interrupted and resumed through a damaged checkpoint — both
+    merge byte-identical to ``--jobs 1``."""
+
+    def _as_bytes(self, reports):
+        return json.dumps([report_payload(r) for r in reports],
+                          sort_keys=True)
+
+    def test_25_seed_socket_chaos_sweep_byte_identical(self, tmp_path):
+        serial = differential_sweep(range(25))
+        chaos = differential_sweep(
+            range(25), jobs=4, executor="socket", retries=3,
+            worker_faults=(parse_fault_spec("worker:kill:after=3"),),
+            shard_dir=str(tmp_path / "shards"))
+        assert self._as_bytes(serial) == self._as_bytes(chaos)
+        assert all(r.ok for r in chaos)
+
+    def test_interrupted_sweep_resumes_byte_identical(self, tmp_path):
+        serial = differential_sweep(range(25))
+        cp = str(tmp_path / "cp.jsonl")
+        jobs = sweep_jobs(range(25))
+        # "interrupt": complete only the first third, then damage the
+        # checkpoint the way a dying coordinator would (torn tail plus
+        # one corrupted interior line)
+        run_jobs(jobs[:len(jobs) // 3], diff_job, nworkers=4,
+                 checkpoint_path=cp)
+        lines = open(cp).read().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        with open(cp, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+            handle.write('{"job_id": "torn')
+        with pytest.warns(UserWarning, match="corrupt checkpoint"):
+            recovered = load_checkpoint(cp)
+        assert len(recovered) == len(jobs) // 3 - 1
+        with pytest.warns(UserWarning):
+            resumed = differential_sweep(
+                range(25), jobs=4, executor="socket", retries=3,
+                checkpoint_path=cp, resume=True,
+                worker_faults=(parse_fault_spec("worker:kill:after=3"),))
+        assert self._as_bytes(serial) == self._as_bytes(resumed)
