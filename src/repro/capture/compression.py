@@ -18,8 +18,24 @@ The format mirrors the structure hardware compressors exploit:
 * arcs, high-level payloads and version annotations ride in an extras
   block, each a varint sequence.
 
+Dependence arcs support three codecs (:data:`ARC_CODECS`), selected per
+encoder/decoder pair and recorded in archive manifests:
+
+* ``rid_delta`` (default, the original format) — each arc stores the
+  source thread id and the zigzag delta against the *consuming*
+  record's own RID;
+* ``last_recv`` — the transitive-reduction-aware codec: the delta is
+  taken against the stream's last-received RID *from that source
+  thread* (the same per-source vector RTR reduces against), so the arcs
+  that survive reduction form a monotone sequence of tiny deltas;
+* ``absolute`` — the naive full-arc encoding (source thread id and the
+  full source RID), the baseline the compression claims are measured
+  against.
+
 Decoding reconstructs records exactly (asserted by roundtrip tests), so
-the measured byte counts are honest.
+the measured byte counts are honest. Truncated or corrupt input raises
+:class:`~repro.common.errors.TraceFormatError` rather than an
+``IndexError`` from deep inside the bit-twiddling.
 """
 
 from __future__ import annotations
@@ -27,10 +43,17 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple
 
 from repro.capture.events import Record, RecordKind
-from repro.common.errors import SimulationError
+from repro.common.errors import SimulationError, TraceFormatError
 
 _SIZE_CODES = {1: 0, 2: 1, 4: 2, 8: 3}
 _SIZE_FROM_CODE = {code: size for size, code in _SIZE_CODES.items()}
+
+#: Supported dependence-arc codecs (see the module docstring).
+ARC_CODECS = ("rid_delta", "last_recv", "absolute")
+
+#: A varint longer than this many payload bits is corrupt, not data:
+#: every value the codec writes fits comfortably in 64 bits of zigzag.
+_MAX_VARINT_SHIFT = 70
 
 _FLAG_EXTRAS = 0x40
 _FLAG_DELTA = 0x80
@@ -65,25 +88,59 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
+def _read_byte(data: bytes, offset: int) -> Tuple[int, int]:
+    if offset >= len(data):
+        raise TraceFormatError(
+            f"truncated record stream: need a byte at offset {offset}, "
+            f"have {len(data)}")
+    return data[offset], offset + 1
+
+
 def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
     result = 0
     shift = 0
     while True:
+        if offset >= len(data):
+            raise TraceFormatError(
+                f"truncated varint at offset {offset} "
+                f"(stream ends mid-value)")
         byte = data[offset]
         offset += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
             return result, offset
         shift += 7
+        if shift > _MAX_VARINT_SHIFT:
+            raise TraceFormatError(
+                f"malformed varint at offset {offset}: more than "
+                f"{_MAX_VARINT_SHIFT} payload bits")
 
 
 class RecordEncoder:
-    """Stateful per-thread encoder (keeps the address-delta context)."""
+    """Stateful per-thread encoder (keeps the address-delta context).
 
-    def __init__(self):
+    ``arc_codec`` selects the dependence-arc encoding (one of
+    :data:`ARC_CODECS`); ``include_reduced_arcs=True`` additionally
+    encodes any :attr:`~repro.capture.events.Record.reduced_arcs` the
+    capture retained, reconstructing the naive pre-reduction arc set —
+    the honest baseline for compression-ratio measurements.
+    """
+
+    def __init__(self, arc_codec: str = "rid_delta",
+                 include_reduced_arcs: bool = False):
+        if arc_codec not in ARC_CODECS:
+            raise SimulationError(
+                f"unknown arc codec {arc_codec!r}; valid: {ARC_CODECS}")
+        self.arc_codec = arc_codec
+        self.include_reduced_arcs = include_reduced_arcs
         self._last_addr = 0
+        self._last_recv = {}
         self.records = 0
         self.bytes = 0
+        #: Bytes spent on the arcs extras section (tag + count + arcs).
+        self.arc_bytes = 0
+        #: Dependence arcs encoded.
+        self.arcs = 0
 
     def encode(self, record: Record) -> bytes:
         out = bytearray()
@@ -136,12 +193,25 @@ class RecordEncoder:
             _write_varint(extras, int(record.kind))
             _write_varint(extras, record.ca_id or 0)
             extras.append(1 if record.ca_issuer else 0)
-        if record.arcs:
+        arcs = list(record.arcs or ())
+        if self.include_reduced_arcs and record.reduced_arcs:
+            arcs.extend(record.reduced_arcs)
+        if arcs:
             extras.append(_X_ARCS)
-            _write_varint(extras, len(record.arcs))
-            for src_tid, src_rid in record.arcs:
+            section_start = len(extras) - 1
+            _write_varint(extras, len(arcs))
+            for src_tid, src_rid in arcs:
                 _write_varint(extras, src_tid)
-                _write_varint(extras, _zigzag(record.rid - src_rid))
+                if self.arc_codec == "rid_delta":
+                    _write_varint(extras, _zigzag(record.rid - src_rid))
+                elif self.arc_codec == "last_recv":
+                    previous = self._last_recv.get(src_tid, 0)
+                    _write_varint(extras, _zigzag(src_rid - previous))
+                    self._last_recv[src_tid] = src_rid
+                else:  # absolute: the naive full-arc baseline
+                    _write_varint(extras, src_rid)
+            self.arc_bytes += len(extras) - section_start
+            self.arcs += len(arcs)
         if record.hl_kind is not None or record.ranges:
             extras.append(_X_HL)
             _write_varint(extras, int(record.hl_kind) if record.hl_kind else 0)
@@ -169,22 +239,32 @@ class RecordEncoder:
 
     @property
     def average_bytes_per_record(self) -> float:
+        """Mean encoded size; 0.0 for an empty stream (no division)."""
         return self.bytes / self.records if self.records else 0.0
 
 
 class RecordDecoder:
-    """Inverse of :class:`RecordEncoder` for one thread's stream."""
+    """Inverse of :class:`RecordEncoder` for one thread's stream.
 
-    def __init__(self, tid: int):
+    ``arc_codec`` must match the encoder's (archives record theirs in
+    the manifest); a mismatch decodes to silently wrong arcs, which is
+    why the archive reader treats an unknown codec as a format error.
+    """
+
+    def __init__(self, tid: int, arc_codec: str = "rid_delta"):
+        if arc_codec not in ARC_CODECS:
+            raise TraceFormatError(
+                f"unknown arc codec {arc_codec!r}; valid: {ARC_CODECS}")
         self.tid = tid
+        self.arc_codec = arc_codec
         self._last_addr = 0
+        self._last_recv = {}
         self._rid = 0
 
     def decode(self, data: bytes) -> Tuple[Record, int]:
         """Decode one record; returns (record, bytes consumed)."""
         offset = 0
-        header = data[offset]
-        offset += 1
+        header, offset = _read_byte(data, offset)
         kind_bits = header & 0x0F
         size = _SIZE_FROM_CODE[(header >> 4) & 0x03]
 
@@ -198,30 +278,31 @@ class RecordDecoder:
             self._last_addr += _unzigzag(raw)
             record.addr = self._last_addr
             record.size = size
-            reg = data[offset] & 0x0F
-            offset += 1
+            reg, offset = _read_byte(data, offset)
             if kind == RecordKind.STORE:
-                record.rs1 = reg
+                record.rs1 = reg & 0x0F
             else:
-                record.rd = reg
+                record.rd = reg & 0x0F
         elif kind in (RecordKind.MOVRR, RecordKind.ALU):
-            regs = data[offset]
-            offset += 1
+            regs, offset = _read_byte(data, offset)
             record.rd = regs & 0x0F
             record.rs1 = (regs >> 4) & 0x0F
             if kind == RecordKind.ALU:
-                rs2 = data[offset]
-                offset += 1
+                rs2, offset = _read_byte(data, offset)
                 record.rs2 = None if rs2 == 0xFF else rs2
         elif kind == RecordKind.LOADI:
-            record.rd = data[offset] & 0x0F
-            offset += 1
+            reg, offset = _read_byte(data, offset)
+            record.rd = reg & 0x0F
         elif kind == RecordKind.CRITICAL_USE:
-            record.rs1 = data[offset] & 0x0F
-            offset += 1
+            reg, offset = _read_byte(data, offset)
+            record.rs1 = reg & 0x0F
 
         if header & _FLAG_EXTRAS:
             length, offset = _read_varint(data, offset)
+            if offset + length > len(data):
+                raise TraceFormatError(
+                    f"truncated extras block: {length} bytes declared, "
+                    f"{len(data) - offset} available")
             self._decode_extras(record, data[offset:offset + length])
             offset += length
         return record, offset
@@ -237,14 +318,22 @@ class RecordDecoder:
                 record.kind = RecordKind(raw_kind)
                 ca_id, offset = _read_varint(extras, offset)
                 record.ca_id = ca_id or None
-                record.ca_issuer = bool(extras[offset])
-                offset += 1
+                issuer, offset = _read_byte(extras, offset)
+                record.ca_issuer = bool(issuer)
             elif tag == _X_ARCS:
                 count, offset = _read_varint(extras, offset)
                 for _ in range(count):
                     src_tid, offset = _read_varint(extras, offset)
                     raw, offset = _read_varint(extras, offset)
-                    record.add_arc(src_tid, record.rid - _unzigzag(raw))
+                    if self.arc_codec == "rid_delta":
+                        src_rid = record.rid - _unzigzag(raw)
+                    elif self.arc_codec == "last_recv":
+                        src_rid = (self._last_recv.get(src_tid, 0)
+                                   + _unzigzag(raw))
+                        self._last_recv[src_tid] = src_rid
+                    else:  # absolute
+                        src_rid = raw
+                    record.add_arc(src_tid, src_rid)
             elif tag == _X_HL:
                 raw_hl, offset = _read_varint(extras, offset)
                 record.hl_kind = HLEventKind(raw_hl) if raw_hl else None
@@ -271,33 +360,59 @@ class RecordDecoder:
                 record.produce_versions = produced
             elif tag == _X_CRITICAL:
                 length, offset = _read_varint(extras, offset)
+                if offset + length > len(extras):
+                    raise TraceFormatError(
+                        f"truncated critical-kind payload: {length} bytes "
+                        f"declared, {len(extras) - offset} available")
                 record.critical_kind = extras[offset:offset + length].decode()
                 offset += length
             else:
-                raise SimulationError(f"unknown extras tag {tag}")
+                raise TraceFormatError(f"unknown extras tag {tag}")
 
 
-def encode_stream(records: Iterable[Record]) -> bytes:
+def encode_stream(records: Iterable[Record],
+                  arc_codec: str = "rid_delta") -> bytes:
     """Encode one thread's record stream into a single buffer."""
-    encoder = RecordEncoder()
+    encoder = RecordEncoder(arc_codec=arc_codec)
     return b"".join(encoder.encode(record) for record in records)
 
 
-def decode_stream(data: bytes, tid: int) -> List[Record]:
-    """Decode a whole encoded stream back into records."""
-    decoder = RecordDecoder(tid)
+def decode_stream(data: bytes, tid: int,
+                  arc_codec: str = "rid_delta") -> List[Record]:
+    """Decode a whole encoded stream back into records.
+
+    Any corruption — a stream cut mid-record, an over-long varint, an
+    extras block announcing more bytes than remain, an invalid record
+    kind — raises :class:`~repro.common.errors.TraceFormatError` with
+    the stream offset, never a bare ``IndexError``.
+    """
+    decoder = RecordDecoder(tid, arc_codec=arc_codec)
     records = []
     offset = 0
     while offset < len(data):
-        record, consumed = decoder.decode(data[offset:])
+        try:
+            record, consumed = decoder.decode(data[offset:])
+        except TraceFormatError as exc:
+            raise TraceFormatError(
+                f"record #{len(records) + 1} at stream offset {offset}: "
+                f"{exc}") from None
+        except (IndexError, ValueError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"corrupt record #{len(records) + 1} at stream offset "
+                f"{offset}: {exc}") from exc
         offset += consumed
         records.append(record)
     return records
 
 
-def measure_stream(records: Iterable[Record]) -> Tuple[int, int, float]:
-    """(records, bytes, average bytes/record) for one stream."""
-    encoder = RecordEncoder()
+def measure_stream(records: Iterable[Record],
+                   arc_codec: str = "rid_delta") -> Tuple[int, int, float]:
+    """(records, bytes, average bytes/record) for one stream.
+
+    An empty stream measures as ``(0, 0, 0.0)`` — never a
+    ``ZeroDivisionError``.
+    """
+    encoder = RecordEncoder(arc_codec=arc_codec)
     for record in records:
         encoder.encode(record)
     return (encoder.records, encoder.bytes,

@@ -70,6 +70,7 @@ class Record:
         "ranges",
         "critical_kind",
         "arcs",
+        "reduced_arcs",
         "ca_id",
         "ca_issuer",
         "consume_version",
@@ -91,6 +92,11 @@ class Record:
         self.critical_kind: Optional[str] = None
         #: Incoming dependence arcs: list of (src_tid, src_rid).
         self.arcs: Optional[List[Tuple[int, int]]] = None
+        #: Arcs dropped by RTR transitive reduction (already implied by
+        #: an earlier arc from the same source). Only populated on
+        #: ``keep_trace`` runs, so archive writers can honestly measure
+        #: a naive full-arc encoding against the reduced one.
+        self.reduced_arcs: Optional[List[Tuple[int, int]]] = None
         #: ConflictAlert id this record participates in (CA_MARK records
         #: and the HL records of the issuing thread).
         self.ca_id: Optional[int] = None
@@ -130,6 +136,12 @@ class Record:
         if self.arcs is None:
             self.arcs = []
         self.arcs.append((src_tid, src_rid))
+
+    def add_reduced_arc(self, src_tid: int, src_rid: int) -> None:
+        """Remember an arc that transitive reduction dropped."""
+        if self.reduced_arcs is None:
+            self.reduced_arcs = []
+        self.reduced_arcs.append((src_tid, src_rid))
 
     def __repr__(self):
         extra = ""

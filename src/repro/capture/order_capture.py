@@ -95,6 +95,10 @@ class OrderCapture:
             if self.config.transitive_reduction:
                 if self._last_recv.get(src_tid, -1) >= src_rid:
                     self.arcs_reduced += 1
+                    if self._trace is not None:
+                        # keep_trace runs retain the dropped arc so the
+                        # archive writer can price the naive encoding.
+                        record.add_reduced_arc(src_tid, src_rid)
                     if self.tracer is not None:
                         self.tracer.emit("arc", "reduced", tid=self.tid,
                                          rid=record.rid, src_tid=src_tid,

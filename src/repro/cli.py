@@ -9,6 +9,13 @@ Commands:
 * ``diff`` — the cross-scheme differential sweep (``--jobs N`` fans
   cells over worker processes; ``--checkpoint``/``--resume`` make an
   interrupted sweep restartable).
+* ``archive`` — record once: run a seeded racy program under live
+  parallel monitoring and persist its captured order as a ``.plog``
+  trace archive (plus a ``.manifest.json`` sidecar).
+* ``replay`` — replay many: re-monitor a trace archive under any (or
+  all) lifeguards straight from disk, no CMP re-simulation
+  (``--jobs N`` fans lifeguards over worker processes;
+  ``--verify-live`` re-runs the live side and asserts byte-identity).
 * ``headline`` — the abstract's three claims.
 * ``swaptions`` — the Section 7 swaptions analysis.
 * ``perf`` — the benchmark harness / regression gate (forwards to
@@ -215,6 +222,40 @@ def build_parser() -> argparse.ArgumentParser:
                            "jobs: the sweep scheduler's own events — "
                            "simulator events stay in the workers)")
 
+    archive = sub.add_parser(
+        "archive", help="record once: archive a live monitored run's "
+                        "captured order to a .plog file (repro.replay)")
+    archive.add_argument("output", metavar="ARCHIVE",
+                         help="archive path to write (manifest sidecar "
+                              "lands at ARCHIVE.manifest.json)")
+    archive.add_argument("--seed", type=int, default=1)
+    archive.add_argument("--lifeguard", choices=sorted(LIFEGUARDS),
+                         default="taintcheck",
+                         help="lifeguard monitoring the capture run "
+                              "(default taintcheck; the archive itself "
+                              "replays under any lifeguard)")
+    archive.add_argument("--threads", type=int, default=2)
+    archive.add_argument("--length", type=int, default=18,
+                         help="random ops per thread script (default 18)")
+
+    rep = sub.add_parser(
+        "replay", help="replay many: re-monitor a trace archive from "
+                       "disk under one or all lifeguards (repro.replay)")
+    rep.add_argument("archive", metavar="ARCHIVE",
+                     help="a .plog file written by `repro archive`")
+    rep.add_argument("--lifeguards", nargs="*", default=None,
+                     metavar="NAME",
+                     help="lifeguard subset, or 'all' (default: all)")
+    rep.add_argument("--verify-live", action="store_true",
+                     help="re-run the live capture (from the archive's "
+                          "meta block) and assert the replay is "
+                          "byte-identical: verdicts, fingerprints, "
+                          "violation lists, retire orders")
+    rep.add_argument("--output", metavar="PATH", default=None,
+                     help="write the per-lifeguard replay payloads as "
+                          "JSON (canonical form)")
+    _add_jobs(rep)
+
     headline = sub.add_parser("headline", help="the abstract's claims")
     _add_sweep(headline)
 
@@ -410,6 +451,86 @@ def _cmd_diff(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_archive(args) -> int:
+    """Record once: capture a live run into a persistent trace archive."""
+    from repro.replay import capture_archive, write_manifest_json
+
+    result, manifest = capture_archive(
+        args.output, args.seed, lifeguard=args.lifeguard,
+        nthreads=args.threads, length=args.length)
+    manifest_path = write_manifest_json(manifest,
+                                        args.output + ".manifest.json")
+    totals = manifest["totals"]
+    print(f"archived seed {args.seed} ({args.lifeguard}, "
+          f"t{args.threads}): {totals['records']} records, "
+          f"{totals['stream_bytes']} bytes "
+          f"-> {args.output}")
+    print(f"  arcs: {totals['arc_bytes']} bytes reduced "
+          f"(naive full-arc: {totals['naive_arc_bytes']} bytes)")
+    print(f"  bytes/instruction: "
+          f"{totals['stream_bytes'] / result.instructions:.2f}")
+    print(f"  manifest: {manifest_path}")
+    if result.violations:
+        print(f"  live violations: {len(result.violations)}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """Replay many: fan an archive out to lifeguards, optionally
+    verifying byte-identity against a fresh live run.
+
+    Exit codes: 0 replay (and any --verify-live differential) clean,
+    1 divergence or worker failure, 2 bad archive / bad arguments.
+    """
+    import json
+
+    from repro.common.errors import TraceFormatError
+    from repro.replay import TraceReader, replay_all
+
+    names = args.lifeguards or None
+    if names and "all" in names:
+        names = None
+    try:
+        reader = TraceReader(args.archive)
+        payloads = replay_all(args.archive, lifeguards=names,
+                              jobs=args.jobs, executor=args.executor)
+    except (TraceFormatError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    meta = reader.meta
+    print(f"replayed {args.archive} "
+          f"(seed {meta.get('seed')}, captured under "
+          f"{meta.get('lifeguard')}) under {len(payloads)} lifeguards:")
+    for name in sorted(payloads):
+        payload = payloads[name]
+        print(f"  {name}: {payload['records']} records, "
+              f"{len(payload['violations'])} violations, "
+              f"verdicts={payload['verdicts']}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payloads, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.verify_live:
+        from repro.trace.diff import replay_differential_check
+
+        for key in ("seed", "lifeguard", "nthreads", "length"):
+            if key not in meta:
+                print(f"error: --verify-live needs meta[{key!r}] in the "
+                      f"archive manifest (not a `repro archive` file?)",
+                      file=sys.stderr)
+                return 2
+        report = replay_differential_check(
+            meta["seed"], lifeguard=meta["lifeguard"],
+            nthreads=meta["nthreads"], length=meta["length"])
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -454,6 +575,12 @@ def _dispatch(argv) -> int:
 
     if args.command == "diff":
         return _cmd_diff(args)
+
+    if args.command == "archive":
+        return _cmd_archive(args)
+
+    if args.command == "replay":
+        return _cmd_replay(args)
 
     if args.command == "swaptions":
         print(render_mapping(

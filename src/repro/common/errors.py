@@ -102,6 +102,18 @@ class DeadlockError(SimulationError):
         return " | ".join(parts)
 
 
+class TraceFormatError(ReproError):
+    """An encoded record stream or persistent trace archive is malformed.
+
+    Raised by the byte-level codec (:mod:`repro.capture.compression`) on
+    truncated or corrupt input, and by the archive reader
+    (:mod:`repro.replay.format`) on bad magic, unsupported format
+    versions, digest mismatches and inconsistent manifests. Unlike
+    :class:`SimulationError` this describes *data at rest*: the
+    simulator may be perfectly healthy while a file on disk is not.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload kernel misused the program-building DSL."""
 

@@ -27,6 +27,12 @@ Scenarios:
   correctness workhorse; 5 seeds in the quick suite, 25 in full).
 * ``taint_large`` — a larger synthetic taint pipeline (the Figure 3
   remote-conflict pattern) under all three schemes.
+* ``archive`` — the record-once/replay-many trace archive
+  (:mod:`repro.replay`): live-capture seeded runs, persist them, and
+  gate the archive density as ``archive_bytes_per_kinst`` (encoded
+  stream bytes per thousand retired instructions). The scenario also
+  asserts the transitive-reduction arc encoding stays strictly
+  smaller than the naive full-arc baseline.
 
 **The gate** (``python -m repro.perf --gate``) compares a fresh run
 against the committed ``BENCH_perf.json`` baseline: any deterministic
@@ -59,8 +65,12 @@ from repro.workloads import CustomWorkload, build_workload
 SCHEMA = 1
 
 #: Deterministic counters the gate compares (strict, repeatable).
+#: ``archive_bytes_per_kinst`` is the trace-archive density — encoded
+#: stream bytes per thousand retired instructions; only the ``archive``
+#: scenario produces a nonzero value, and bigger means a fatter archive.
 GATE_METRICS = ("sim_cycles", "instructions", "events_popped",
-                "shadow_chunks_peak", "shadow_chunk_allocs")
+                "shadow_chunks_peak", "shadow_chunk_allocs",
+                "archive_bytes_per_kinst")
 
 #: Allowed relative regression on deterministic counters.
 METRIC_TOLERANCE = 0.10
@@ -110,6 +120,7 @@ def _metrics_of(result) -> Dict[str, int]:
         "events_popped": perf.get("events_popped", 0),
         "shadow_chunks_peak": perf.get("shadow_chunks_peak", 0),
         "shadow_chunk_allocs": perf.get("shadow_chunk_allocs", 0),
+        "archive_bytes_per_kinst": 0,
     }
 
 
@@ -161,10 +172,8 @@ def run_diff_sweep(seeds) -> Dict[str, Dict[str, int]]:
     schemes: Dict[str, Dict[str, int]] = {}
     for report in reports:
         for scheme, perf in report.perf.items():
-            agg = schemes.setdefault(scheme, {
-                "sim_cycles": 0, "instructions": 0, "events_popped": 0,
-                "shadow_chunks_peak": 0, "shadow_chunk_allocs": 0,
-            })
+            agg = schemes.setdefault(scheme,
+                                     {metric: 0 for metric in GATE_METRICS})
             agg["sim_cycles"] += perf.get("sim_cycles", 0)
             agg["instructions"] += report.instructions.get(scheme, 0)
             agg["events_popped"] += perf.get("events_popped", 0)
@@ -192,6 +201,52 @@ def run_taint_large(nthreads: int = 4,
     return schemes
 
 
+def run_archive(seeds) -> Dict[str, Dict[str, int]]:
+    """Record-once trace archiving over seeded racy programs.
+
+    Live-captures each seed under parallel TaintCheck monitoring,
+    persists the captured order to a temporary ``.plog`` archive, and
+    reports the archive density as ``archive_bytes_per_kinst`` (encoded
+    stream bytes per thousand retired instructions, summed over the
+    seed set). Raises if the transitive-reduction arc encoding is not
+    strictly smaller than the naive full-arc baseline — that saving is
+    the point of the ``last_recv`` codec, so losing it is a bug, not a
+    slow day.
+    """
+    import shutil
+    import tempfile
+
+    from repro.replay import capture_archive
+
+    metrics = {metric: 0 for metric in GATE_METRICS}
+    stream_bytes = arc_bytes = naive_arc_bytes = 0
+    tmp = tempfile.mkdtemp(prefix="repro-perf-archive-")
+    try:
+        for seed in seeds:
+            result, manifest = capture_archive(
+                os.path.join(tmp, f"seed{seed}.plog"), seed)
+            live = _metrics_of(result)
+            for metric in ("sim_cycles", "instructions", "events_popped",
+                           "shadow_chunk_allocs"):
+                metrics[metric] += live[metric]
+            metrics["shadow_chunks_peak"] = max(
+                metrics["shadow_chunks_peak"], live["shadow_chunks_peak"])
+            totals = manifest["totals"]
+            stream_bytes += totals["stream_bytes"]
+            arc_bytes += totals["arc_bytes"]
+            naive_arc_bytes += totals["naive_arc_bytes"]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if arc_bytes >= naive_arc_bytes:
+        raise AssertionError(
+            f"transitive-reduction arc encoding ({arc_bytes} bytes) is "
+            f"not smaller than the naive full-arc baseline "
+            f"({naive_arc_bytes} bytes)")
+    metrics["archive_bytes_per_kinst"] = round(
+        1000 * stream_bytes / metrics["instructions"])
+    return {"archive": metrics}
+
+
 # ---------------------------------------------------------------------------
 # Suite assembly
 # ---------------------------------------------------------------------------
@@ -203,6 +258,7 @@ def _suite_scenarios(suite: str) -> Dict[str, Callable]:
             "diff_sweep": lambda: run_diff_sweep(range(5)),
             "taint_large": lambda: run_taint_large(
                 nthreads=3, scale=ScalePreset.TINY),
+            "archive": lambda: run_archive(range(5)),
         }
     if suite == "full":
         return {
@@ -210,6 +266,7 @@ def _suite_scenarios(suite: str) -> Dict[str, Callable]:
             "diff_sweep": lambda: run_diff_sweep(range(25)),
             "taint_large": lambda: run_taint_large(
                 nthreads=4, scale=ScalePreset.SMALL),
+            "archive": lambda: run_archive(range(25)),
         }
     raise ValueError(f"unknown suite {suite!r}; valid: {', '.join(SUITES)}")
 
@@ -412,6 +469,12 @@ def format_suite(suite_name: str, suite: Dict[str, object]) -> str:
             f"({rates['events_popped_per_sec']:,}/s) "
             f"shadow_chunks_peak={metrics['shadow_chunks_peak']} "
             f"shadow_chunk_allocs={metrics['shadow_chunk_allocs']}")
+        if metrics.get("archive_bytes_per_kinst"):
+            lines.append(
+                f"    archive_bytes_per_kinst="
+                f"{metrics['archive_bytes_per_kinst']} "
+                f"({metrics['archive_bytes_per_kinst'] / 1000:.2f} "
+                f"bytes/instruction)")
     lines.append(f"  total wall: {suite['wall_seconds_total']:.3f}s")
     return "\n".join(lines)
 

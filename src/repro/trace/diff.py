@@ -64,6 +64,11 @@ __all__ = [
     "differential_check",
     "differential_sweep",
     "lifeguard_factory",
+    "replay_diff_job",
+    "replay_differential_check",
+    "replay_fanout_check",
+    "replay_sweep",
+    "replay_sweep_jobs",
     "report_from_payload",
     "report_payload",
     "sweep_jobs",
@@ -533,6 +538,261 @@ def sweep_jobs(seeds, lifeguards=None, nthreads: int = 2,
              "length": length})
         for seed in seeds for name in lifeguards
     ]
+
+
+# ---------------------------------------------------------------------------
+# Replay-vs-live differential layer (record once, replay many)
+# ---------------------------------------------------------------------------
+
+def _record_fields(record, commit_base: int = 0) -> tuple:
+    """Every field of a captured record, for exact archive comparison.
+
+    ``commit_base`` rebases live commit times the way the archive writer
+    does (archives root theirs at 1; live values carry process history).
+    """
+    return (record.tid, record.rid, int(record.kind), record.addr,
+            record.size, record.rd, record.rs1, record.rs2,
+            int(record.hl_kind) if record.hl_kind is not None else None,
+            tuple(record.ranges), record.critical_kind,
+            tuple(record.arcs or ()), record.ca_id, record.ca_issuer,
+            record.consume_version,
+            tuple(tuple(v) for v in record.produce_versions or ()),
+            record.commit_time - commit_base
+            if record.commit_time is not None else None)
+
+
+def replay_differential_check(seed: int, lifeguard: str = "taintcheck",
+                              nthreads: int = 2, length: int = 18,
+                              archive_path: str = None) -> DiffReport:
+    """Live-monitor one seeded racy program, archive it, replay it.
+
+    The strict acceptance check of the record-once/replay-many design:
+    the archived run, replayed from disk through the same lifeguard,
+    must reproduce the live run *byte-for-byte* —
+
+    1. **verdicts** — the full violation list (kind, tid, rid, detail)
+       and its scheme-independent projection, as canonical JSON bytes;
+    2. **fingerprints** — the lifeguard's exact semantic state
+       (memory metadata, register metadata, violation kinds);
+    3. **retire orders** — every thread's archived stream decodes to
+       the live captured records, all fields including dependence arcs
+       and commit times;
+    4. **re-replay** — replaying the same archive twice produces
+       identical payload bytes (the archive, not the process, is the
+       source of truth).
+    """
+    import os
+    import tempfile
+
+    from repro.replay import (
+        TraceReader,
+        canonical_json,
+        capture_archive,
+        replay_archive,
+        replay_payload,
+    )
+
+    report = DiffReport(seed=seed, lifeguard=lifeguard, nthreads=nthreads)
+    tmp = None
+    if archive_path is None:
+        tmp = tempfile.mkdtemp(prefix="repro-replay-")
+        archive_path = os.path.join(tmp, f"seed{seed}.plog")
+    try:
+        live, manifest = capture_archive(
+            archive_path, seed, lifeguard=lifeguard, nthreads=nthreads,
+            length=length)
+        reader = TraceReader(archive_path)
+        first = replay_archive(reader, lifeguard)
+        second = replay_archive(TraceReader(archive_path), lifeguard)
+
+        report.verdicts["live"] = verdict_projection(live.violations,
+                                                     lifeguard)
+        report.verdicts["replay"] = first.verdicts
+        report.instructions["live"] = live.instructions
+        report.instructions["replay"] = manifest["meta"]["instructions"]
+        totals = manifest["totals"]
+        report.perf["archive"] = {
+            "stream_bytes": totals["stream_bytes"],
+            "arc_bytes": totals["arc_bytes"],
+            "naive_arc_bytes": totals["naive_arc_bytes"],
+            "records": totals["records"],
+        }
+
+        # 1. verdicts: projection and the full violation list
+        if (canonical_json(report.verdicts["live"])
+                != canonical_json(first.verdicts)):
+            report.failures.append(
+                "replay verdict projection diverges from live:\n"
+                f"      live:   {list(report.verdicts['live'])}\n"
+                f"      replay: {list(first.verdicts)}")
+        live_violations = [(v.kind, v.tid, v.rid, v.detail)
+                           for v in live.violations]
+        if live_violations != first.violations:
+            report.failures.append(
+                f"replay violation list diverges from live "
+                f"({len(live_violations)} live vs "
+                f"{len(first.violations)} replayed)")
+
+        # 2. fingerprints, byte-compared in canonical form
+        live_fp = live.lifeguard_obj.metadata_fingerprint()
+        if canonical_json(live_fp) != canonical_json(first.fingerprint):
+            report.failures.append(
+                "replay metadata fingerprint diverges from live")
+
+        # 3. retire orders: archived streams decode to the live records
+        # (live commit times rebased the way the archive writer roots
+        # them at 1 — see repro.replay.format._commit_base)
+        live_streams = {tid: [] for tid in range(nthreads)}
+        for record in live.trace:
+            live_streams[record.tid].append(record)
+        commit_base = min(r.commit_time for r in live.trace) - 1 \
+            if live.trace else 0
+        for tid in sorted(live_streams):
+            live_fields = [_record_fields(r, commit_base)
+                           for r in live_streams[tid]]
+            archived_fields = [_record_fields(r)
+                               for r in reader.records(tid)]
+            if live_fields != archived_fields:
+                report.failures.append(
+                    f"t{tid}: archived stream diverges from the live "
+                    f"capture: " + _first_divergence(
+                        {tid: live_fields}, {tid: archived_fields}))
+
+        # 4. same archive twice -> identical bytes
+        if (canonical_json(replay_payload(first))
+                != canonical_json(replay_payload(second))):
+            report.failures.append(
+                "re-replay of the same archive produced different bytes")
+    finally:
+        if tmp is not None:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+    return report
+
+
+class _ViolationView:
+    """Attribute view over a (kind, tid, rid, detail) violation tuple,
+    so planted-bug checks accept replayed payloads."""
+
+    __slots__ = ("kind", "tid", "rid", "detail")
+
+    def __init__(self, entry):
+        self.kind, self.tid, self.rid, self.detail = entry
+
+
+def replay_fanout_check(seed: int, nthreads: int = 2, length: int = 18,
+                        capture_lifeguard: str = "taintcheck",
+                        lifeguards=None, jobs: int = 1,
+                        executor: str = "auto",
+                        archive_path: str = None) -> DiffReport:
+    """Archive one run once; replay *every* lifeguard from that file.
+
+    The capture side runs a single live monitored execution; each
+    requested lifeguard then re-monitors the stored order from disk.
+    Checks: every replayed lifeguard reports exactly the planted bugs
+    (the generator's interleaving-independent ground truth), and a
+    parallel ``jobs=N`` fan-out returns byte-identical payloads to the
+    serial one.
+    """
+    import os
+    import tempfile
+
+    from repro.replay import canonical_json, capture_archive, replay_all
+
+    names = sorted(lifeguards or LIFEGUARDS)
+    report = DiffReport(seed=seed, lifeguard=",".join(names),
+                        nthreads=nthreads)
+    tmp = None
+    if archive_path is None:
+        tmp = tempfile.mkdtemp(prefix="repro-replay-")
+        archive_path = os.path.join(tmp, f"seed{seed}.plog")
+    try:
+        program = RacyProgram.generate(seed, nthreads=nthreads,
+                                       length=length)
+        live, _manifest = capture_archive(
+            archive_path, seed, lifeguard=capture_lifeguard,
+            nthreads=nthreads, length=length)
+        report.instructions["live"] = live.instructions
+        serial = replay_all(archive_path, lifeguards=names)
+        for name in names:
+            payload = serial[name]
+            report.verdicts[name] = _tuplize(payload["verdicts"])
+            violations = [_ViolationView(entry)
+                          for entry in payload["violations"]]
+            report.failures.extend(
+                f"replayed {failure}"
+                for failure in _check_planted(program, name, violations))
+        if jobs > 1 or executor != "auto":
+            parallel = replay_all(archive_path, lifeguards=names,
+                                  jobs=jobs, executor=executor)
+            if canonical_json(parallel) != canonical_json(serial):
+                report.failures.append(
+                    f"--jobs {jobs} replay fan-out diverges from the "
+                    f"serial replay of the same archive")
+    finally:
+        if tmp is not None:
+            import shutil
+
+            shutil.rmtree(tmp, ignore_errors=True)
+    return report
+
+
+def replay_diff_job(payload: dict) -> dict:
+    """``repro.jobs`` worker: one replay-vs-live differential cell."""
+    report = replay_differential_check(payload["seed"],
+                                       lifeguard=payload["lifeguard"],
+                                       nthreads=payload["nthreads"],
+                                       length=payload["length"])
+    return report_payload(report)
+
+
+def replay_sweep_jobs(seeds, lifeguards=None, nthreads: int = 2,
+                      length: int = 18) -> list:
+    """Stable job list for a replay differential sweep (one job per
+    (seed, lifeguard) cell, ids checkpoint-stable across runs)."""
+    from repro.jobs import Job
+
+    lifeguards = tuple(lifeguards or sorted(LIFEGUARDS))
+    return [
+        Job(f"replay{seed:05d}:{name}:t{nthreads}:l{length}",
+            {"seed": seed, "lifeguard": name, "nthreads": nthreads,
+             "length": length})
+        for seed in seeds for name in lifeguards
+    ]
+
+
+def replay_sweep(seeds, lifeguards=None, nthreads: int = 2,
+                 length: int = 18, jobs: int = 1,
+                 executor: str = "auto", tracer=None) -> List[DiffReport]:
+    """:func:`replay_differential_check` over a seed range.
+
+    Returns reports in canonical (seed, lifeguard) order; callers assert
+    ``all(r.ok for r in reports)``. ``jobs=N`` fans cells over the
+    :mod:`repro.jobs` executor — each worker archives to its own
+    temporary file, so the sweep is embarrassingly parallel.
+    """
+    if jobs == 1 and executor == "auto":
+        lifeguards = tuple(lifeguards or sorted(LIFEGUARDS))
+        return [replay_differential_check(seed, lifeguard=name,
+                                          nthreads=nthreads, length=length)
+                for seed in seeds for name in lifeguards]
+
+    from repro.jobs import run_jobs
+
+    results = run_jobs(replay_sweep_jobs(seeds, lifeguards, nthreads,
+                                         length),
+                       replay_diff_job, nworkers=jobs, executor=executor,
+                       tracer=tracer)
+    reports = []
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"replay cell {result.job_id} failed "
+                f"({result.status}, exit {result.exit_code}): "
+                f"{result.error}")
+        reports.append(report_from_payload(result.value))
+    return reports
 
 
 def differential_sweep(seeds, lifeguards=None, nthreads: int = 2,

@@ -97,3 +97,52 @@ class TestCommands:
     def test_swaptions_analysis(self, capsys):
         assert main(["swaptions", "--threads", "2"]) == 0
         assert "alloc_free_pairs" in capsys.readouterr().out
+
+
+class TestArchiveReplay:
+    def test_archive_then_replay_all(self, tmp_path, capsys):
+        archive = tmp_path / "run.plog"
+        assert main(["archive", str(archive), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "archived seed 3" in out
+        assert "bytes/instruction" in out
+        assert archive.exists()
+        assert (tmp_path / "run.plog.manifest.json").exists()
+
+        assert main(["replay", str(archive), "--lifeguards", "all",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        for lifeguard in ("addrcheck", "lockset", "memcheck", "taintcheck"):
+            assert lifeguard in out
+
+    def test_replay_verify_live(self, tmp_path, capsys):
+        archive = tmp_path / "run.plog"
+        assert main(["archive", str(archive), "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(archive), "--verify-live"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_replay_writes_payload_json(self, tmp_path, capsys):
+        import json
+
+        archive = tmp_path / "run.plog"
+        assert main(["archive", str(archive)]) == 0
+        payload_path = tmp_path / "payloads.json"
+        assert main(["replay", str(archive), "--lifeguards", "taintcheck",
+                     "--output", str(payload_path)]) == 0
+        payloads = json.loads(payload_path.read_text())
+        assert set(payloads) == {"taintcheck"}
+        assert payloads["taintcheck"]["records"] > 0
+
+    def test_replay_missing_archive_exits_2(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope.plog")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_replay_corrupt_archive_exits_2(self, tmp_path, capsys):
+        archive = tmp_path / "run.plog"
+        assert main(["archive", str(archive)]) == 0
+        data = bytearray(archive.read_bytes())
+        data[-1] ^= 0x01
+        archive.write_bytes(data)
+        assert main(["replay", str(archive)]) == 2
+        assert "sha256" in capsys.readouterr().err

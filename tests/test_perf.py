@@ -13,6 +13,7 @@ from repro.perf import (
     build_report,
     gate,
     load_baseline,
+    run_archive,
     run_figure5,
     run_scenario,
     write_report,
@@ -34,6 +35,18 @@ class TestScenarios:
         assert first["no_monitoring"]["shadow_chunk_allocs"] == 0
         # Monitored runs materialized taint metadata.
         assert first["parallel"]["shadow_chunk_allocs"] > 0
+
+    def test_archive_scenario_reports_density(self):
+        first = run_archive(range(2))
+        second = run_archive(range(2))
+        assert first == second, "archive bytes must be deterministic"
+        assert set(first) == {"archive"}
+        metrics = first["archive"]
+        assert set(metrics) == set(GATE_METRICS)
+        assert metrics["instructions"] > 0
+        # Tiny runs are header-dominated, but density must be sane:
+        # more than zero, comfortably under 64 bytes per instruction.
+        assert 0 < metrics["archive_bytes_per_kinst"] < 64_000
 
     def test_run_scenario_shape_and_rates(self):
         scenario = run_scenario(run_figure5, repeats=2)
@@ -142,7 +155,8 @@ class TestBaselineIO:
         assert baseline["calibration_seconds"] > 0
         for suite in ("quick", "full"):
             scenarios = baseline["suites"][suite]["scenarios"]
-            assert set(scenarios) == {"figure5", "diff_sweep", "taint_large"}
+            assert set(scenarios) == {"figure5", "diff_sweep",
+                                      "taint_large", "archive"}
             for name, scenario in scenarios.items():
                 assert scenario["wall_seconds"] > 0, name
                 for metric in GATE_METRICS:

@@ -1,0 +1,121 @@
+"""Tests for the replay engine and the replay-vs-live differential.
+
+Fast tier: a handful of seeds proving the record-once/replay-many
+contract — live verdicts/fingerprints/violation lists byte-identical to
+the archive replayed from disk, one archive fanning out to all four
+lifeguards, and parallel ``--jobs`` replay matching serial byte for
+byte. Slow tier (``-m slow``): the 25-seed × 4-lifeguard acceptance
+sweep from the PR's acceptance criteria.
+"""
+
+import pytest
+
+from repro.lifeguards import LIFEGUARDS
+from repro.replay import (
+    TraceReader,
+    canonical_json,
+    capture_archive,
+    replay_all,
+    replay_archive,
+    replay_payload,
+)
+from repro.trace.diff import (
+    replay_differential_check,
+    replay_fanout_check,
+    replay_sweep,
+)
+
+
+class TestReplayArchive:
+    def test_replay_matches_live_run_exactly(self, tmp_path):
+        live, _manifest = capture_archive(tmp_path / "s.plog", 4)
+        result = replay_archive(tmp_path / "s.plog", "taintcheck")
+        assert result.records == len(live.trace)
+        assert result.violations == [(v.kind, v.tid, v.rid, v.detail)
+                                     for v in live.violations]
+        assert (canonical_json(result.fingerprint)
+                == canonical_json(live.lifeguard_obj.metadata_fingerprint()))
+
+    def test_re_replay_is_byte_identical(self, tmp_path):
+        capture_archive(tmp_path / "s.plog", 6)
+        first = replay_payload(replay_archive(tmp_path / "s.plog",
+                                              "memcheck"))
+        second = replay_payload(replay_archive(tmp_path / "s.plog",
+                                               "memcheck"))
+        assert canonical_json(first) == canonical_json(second)
+
+    def test_shared_reader_equals_fresh_reader(self, tmp_path):
+        capture_archive(tmp_path / "s.plog", 2)
+        reader = TraceReader(tmp_path / "s.plog")
+        via_reader = replay_payload(replay_archive(reader, "lockset"))
+        via_path = replay_payload(replay_archive(tmp_path / "s.plog",
+                                                 "lockset"))
+        assert canonical_json(via_reader) == canonical_json(via_path)
+
+    def test_capture_archive_meta(self, tmp_path):
+        _live, manifest = capture_archive(tmp_path / "s.plog", 5,
+                                          lifeguard="addrcheck")
+        meta = manifest["meta"]
+        assert meta["seed"] == 5
+        assert meta["lifeguard"] == "addrcheck"
+        assert meta["scheme"] == "parallel"
+        assert meta["instructions"] > 0
+
+
+class TestReplayAll:
+    def test_one_archive_feeds_every_lifeguard(self, tmp_path):
+        capture_archive(tmp_path / "s.plog", 3)
+        payloads = replay_all(tmp_path / "s.plog")
+        assert set(payloads) == set(LIFEGUARDS)
+        for name, payload in payloads.items():
+            assert payload["lifeguard"] == name
+            assert payload["records"] > 0
+
+    def test_jobs_fanout_is_byte_identical_to_serial(self, tmp_path):
+        capture_archive(tmp_path / "s.plog", 3)
+        serial = replay_all(tmp_path / "s.plog")
+        parallel = replay_all(tmp_path / "s.plog", jobs=2)
+        assert canonical_json(serial) == canonical_json(parallel)
+
+    def test_unknown_lifeguard_rejected(self, tmp_path):
+        capture_archive(tmp_path / "s.plog", 1)
+        with pytest.raises(ValueError, match="unknown lifeguards"):
+            replay_all(tmp_path / "s.plog", lifeguards=["valgrind"])
+
+
+class TestReplayDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_taintcheck_cells(self, seed):
+        replay_differential_check(seed).assert_ok()
+
+    @pytest.mark.parametrize("lifeguard",
+                             ["addrcheck", "lockset", "memcheck"])
+    def test_other_lifeguards(self, lifeguard):
+        replay_differential_check(1, lifeguard=lifeguard).assert_ok()
+
+    def test_fanout_against_planted_bugs(self):
+        replay_fanout_check(2, jobs=2).assert_ok()
+
+    def test_report_carries_archive_economics(self):
+        report = replay_differential_check(0)
+        economics = report.perf["archive"]
+        assert economics["stream_bytes"] > 0
+        assert economics["arc_bytes"] < economics["naive_arc_bytes"]
+
+
+@pytest.mark.slow
+class TestReplayAcceptanceSweep:
+    """The PR's acceptance sweep: 25 seeds, every lifeguard, archived
+    once and replayed byte-identically — serial and ``--jobs 4``."""
+
+    SEEDS = range(25)
+
+    def test_live_vs_replay_all_cells(self):
+        reports = replay_sweep(self.SEEDS, jobs=4)
+        assert len(reports) == 25 * len(LIFEGUARDS)
+        bad = [r.summary() for r in reports if not r.ok]
+        assert not bad, "\n".join(bad)
+
+    def test_archived_once_replayed_under_all_lifeguards(self):
+        for seed in self.SEEDS:
+            replay_fanout_check(seed, jobs=4).assert_ok()
