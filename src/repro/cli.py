@@ -37,7 +37,7 @@ from repro.common.config import CaptureMode, MemoryModel, ScalePreset, \
     SimulationConfig
 from repro.common.errors import ConfigurationError, SimulationError, \
     SimulationTimeout
-from repro.cpu.engine import Watchdog
+from repro.cpu.engine import BACKENDS, Watchdog
 from repro.faults import (
     EXIT_ABNORMAL,
     EXIT_BUDGET_EXCEEDED,
@@ -95,6 +95,16 @@ def _add_sweep(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=list(BACKENDS),
+                        default="event",
+                        help="engine execution backend (default event; "
+                             "batched coalesces same-actor events and "
+                             "delivers log blocks through the lifeguards' "
+                             "bulk entry points — results are "
+                             "byte-identical)")
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent sweep cells "
@@ -135,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
                             default="per_block")
     run_parser.add_argument("--no-accel", action="store_true",
                             help="disable IT/IF/M-TLB")
+    _add_backend(run_parser)
     run_parser.add_argument("--max-cycles", type=int, default=None,
                             help="abort with exit code 4 past this "
                                  "simulated cycle budget")
@@ -187,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="random ops per thread script (default 18)")
     diff.add_argument("--output", metavar="PATH", default=None,
                       help="write the merged report payloads as JSON")
+    _add_backend(diff)
     _add_jobs(diff)
     diff.add_argument("--checkpoint", metavar="PATH", default=None,
                       help="JSONL checkpoint for interrupted-sweep resume")
@@ -237,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     archive.add_argument("--threads", type=int, default=2)
     archive.add_argument("--length", type=int, default=18,
                          help="random ops per thread script (default 18)")
+    _add_backend(archive)
 
     rep = sub.add_parser(
         "replay", help="replay many: re-monitor a trace archive from "
@@ -254,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--output", metavar="PATH", default=None,
                      help="write the per-lifeguard replay payloads as "
                           "JSON (canonical form)")
+    _add_backend(rep)
     _add_jobs(rep)
 
     headline = sub.add_parser("headline", help="the abstract's claims")
@@ -321,19 +335,20 @@ def _cmd_run(args) -> int:
                       "(no monitoring pipeline to fault)", file=sys.stderr)
             result = run_no_monitoring(workload, config, watchdog=watchdog,
                                        max_cycles=args.max_cycles,
-                                       tracer=tracer)
+                                       tracer=tracer, backend=args.backend)
         elif args.scheme == "timesliced":
             result = run_timesliced_monitoring(
                 workload, lifeguard, config, fault_plan=fault_plan,
                 watchdog=watchdog, max_cycles=args.max_cycles,
-                tracer=tracer)
+                tracer=tracer, backend=args.backend)
         else:
             accel = (AcceleratorConfig.all_off() if args.no_accel
                      else AcceleratorConfig.all_on())
             result = run_parallel_monitoring(
                 workload, lifeguard, config, accel=accel,
                 fault_plan=fault_plan, watchdog=watchdog,
-                max_cycles=args.max_cycles, tracer=tracer)
+                max_cycles=args.max_cycles, tracer=tracer,
+                backend=args.backend)
     except SimulationError as exc:
         # DeadlockError and SimulationTimeout both derive from
         # SimulationError; so do the integrity checks (lost CA
@@ -425,7 +440,7 @@ def _cmd_diff(args) -> int:
             executor=args.executor, heartbeat=args.heartbeat,
             backoff=backoff, worker_faults=worker_faults,
             fault_seed=args.fault_seed, shard_dir=args.shards,
-            tracer=tracer)
+            tracer=tracer, backend=args.backend)
     except KeyboardInterrupt:
         # The runner already synced the checkpoint; exit with the
         # documented abnormal code so scripts can distinguish an
@@ -457,7 +472,7 @@ def _cmd_archive(args) -> int:
 
     result, manifest = capture_archive(
         args.output, args.seed, lifeguard=args.lifeguard,
-        nthreads=args.threads, length=args.length)
+        nthreads=args.threads, length=args.length, backend=args.backend)
     manifest_path = write_manifest_json(manifest,
                                         args.output + ".manifest.json")
     totals = manifest["totals"]
@@ -493,7 +508,8 @@ def _cmd_replay(args) -> int:
     try:
         reader = TraceReader(args.archive)
         payloads = replay_all(args.archive, lifeguards=names,
-                              jobs=args.jobs, executor=args.executor)
+                              jobs=args.jobs, executor=args.executor,
+                              backend=args.backend)
     except (TraceFormatError, FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -524,7 +540,8 @@ def _cmd_replay(args) -> int:
                 return 2
         report = replay_differential_check(
             meta["seed"], lifeguard=meta["lifeguard"],
-            nthreads=meta["nthreads"], length=meta["length"])
+            nthreads=meta["nthreads"], length=meta["length"],
+            backend=args.backend)
         print(report.summary())
         if not report.ok:
             return 1

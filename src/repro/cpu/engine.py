@@ -17,6 +17,18 @@ changes.
 Determinism: the heap breaks ties by insertion sequence number, so two
 runs of the same configuration produce identical schedules.
 
+Backends: the default ``event`` backend schedules every nonzero delay
+through the time heap. The ``batched`` backend lets an actor *advance
+time inline* (:meth:`Engine.try_advance`) when no other event could
+possibly interleave — the heap's earliest entry lies strictly after the
+actor's target time — so a core executes straight-line instruction runs
+without a heappush/heappop round-trip per step. Because the advance is
+refused whenever any event at or before the target exists, every
+observable interleaving (and therefore every trace, verdict and
+fingerprint) is identical between the two backends; only
+:attr:`Engine.events_popped` (fewer heap services) and
+:attr:`Engine.batch_advances` differ.
+
 Failure diagnosis: a drained heap with blocked actors is a classic
 deadlock; an optional :class:`Watchdog` additionally detects *livelock*
 (events keep firing but no actor retires a record for a whole cycle
@@ -55,10 +67,18 @@ class Watchdog:
         return f"Watchdog(window={self.window})"
 
 
+#: Valid :class:`Engine` execution backends.
+BACKENDS = ("event", "batched")
+
+
 class Engine:
     """Time heap + actor lifecycle tracking."""
 
-    def __init__(self, watchdog: Optional[Watchdog] = None, tracer=None):
+    def __init__(self, watchdog: Optional[Watchdog] = None, tracer=None,
+                 backend: str = "event"):
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown engine backend {backend!r}; expected one of {BACKENDS}")
         self.now = 0
         self._heap: List = []
         self._seq = 0
@@ -67,8 +87,21 @@ class Engine:
         #: :meth:`register` and :meth:`note_finish` so the watchdog's
         #: per-event liveness check is O(1) instead of an O(actors) scan.
         self._unfinished = 0
+        #: Actors that already called :meth:`note_finish` (double-finish
+        #: guard — a second call would silently corrupt ``_unfinished``).
+        self._finished_actors = set()
+        #: Execution backend; ``batched`` enables :meth:`try_advance`.
+        self.backend = backend
+        self.batched = backend == "batched"
         #: Total events popped off the time heap (perf-harness metric).
         self.events_popped = 0
+        #: Delays committed inline by the batched backend instead of
+        #: through the heap (perf-harness metric; 0 under ``event``).
+        self.batch_advances = 0
+        # Budget/watchdog state mirrored for try_advance while run() is
+        # active (the inline path must honour both exactly).
+        self._run_max_cycles: Optional[int] = None
+        self._run_window = 0
         #: Optional livelock detector; may also be attached after init.
         self.watchdog = watchdog
         #: Optional :class:`~repro.trace.TraceWriter`; actors emit
@@ -89,7 +122,16 @@ class Engine:
         self._unfinished += 1
 
     def note_finish(self, actor: "CoreActor") -> None:
-        """Actors report here exactly once, when they finish."""
+        """Actors report here exactly once, when they finish.
+
+        A second call for the same actor raises — it would drive
+        ``_unfinished`` negative, silently disabling the watchdog's
+        livelock check and the deadlock diagnosis.
+        """
+        if actor in self._finished_actors:
+            raise SimulationError(
+                f"{getattr(actor, 'name', actor)}: note_finish called twice")
+        self._finished_actors.add(actor)
         self._unfinished -= 1
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
@@ -106,6 +148,33 @@ class Engine:
         (spurious wake-ups, spin polls) deliberately do not count.
         """
         self.last_retire = self.now
+
+    def try_advance(self, cycles: int) -> bool:
+        """Batched backend: commit a delay inline when nothing interleaves.
+
+        Returns True (and advances :attr:`now`) only when no pending heap
+        event fires at or before the target time — strictly after, because
+        an equal-time heap entry carries a smaller sequence number and must
+        run first. Refuses (falling back to the heap) when the advance
+        would cross ``max_cycles`` (so :class:`SimulationTimeout` fires
+        with identical pending-event state) or when the watchdog's
+        livelock condition already holds at the *current* time (matching
+        the event backend's post-callback check exactly).
+        """
+        target = self.now + cycles
+        heap = self._heap
+        if heap and heap[0][0] <= target:
+            return False
+        max_cycles = self._run_max_cycles
+        if max_cycles is not None and target > max_cycles:
+            return False
+        window = self._run_window
+        if (window and self.now - self.last_retire > window
+                and self._unfinished):
+            return False
+        self.now = target
+        self.batch_advances += 1
+        return True
 
     def run(self, max_cycles: Optional[int] = None) -> int:
         """Run until all actors finish; returns the final time.
@@ -126,6 +195,8 @@ class Engine:
         heap = self._heap
         heappop = heapq.heappop
         popped = 0
+        self._run_max_cycles = max_cycles
+        self._run_window = window
         try:
             while heap:
                 time = heap[0][0]
@@ -140,16 +211,20 @@ class Engine:
                 self.now = time
                 popped += 1
                 entry[2]()
-                if (window and time - self.last_retire > window
+                # `self.now`, not `time`: a batched-backend callback may
+                # have advanced time inline past the popped entry.
+                if (window and self.now - self.last_retire > window
                         and self._unfinished):
                     raise self._diagnose(
                         f"livelock: no actor retired anything for "
-                        f"{time - self.last_retire} cycles (window="
+                        f"{self.now - self.last_retire} cycles (window="
                         f"{window}) while events kept firing",
                         kind="livelock",
                     )
         finally:
             self.events_popped += popped
+            self._run_max_cycles = None
+            self._run_window = 0
         blocked = [a for a in self._actors if not a.finished]
         if blocked:
             raise self._diagnose(
@@ -262,7 +337,17 @@ class Condition:
             pass
 
     def notify_all(self, engine: Engine) -> None:
-        """Wake every waiter (they re-check their state and may re-wait)."""
+        """Wake every waiter (they re-check their state and may re-wait).
+
+        The waiter list is swapped out *before* any wake is scheduled, so
+        a waiter that re-waits on this same condition while the pass's
+        wake events drain lands on the fresh list and is only woken by a
+        *later* notify_all — never re-notified by the same pass. A waiter
+        that ends up scheduled for two wakes (duplicate waiter-list
+        entries, crossed notifications) runs once: the second wake
+        arrives after the actor resumed and is dropped as stale by
+        :meth:`CoreActor.wake`.
+        """
         if not self._waiters:
             return
         waiters, self._waiters = self._waiters, []
@@ -312,6 +397,13 @@ class CoreActor:
             # waiter list, where it would swallow future notifications.
             self._purge_wait()
             return
+        if self.wait_condition is None and self._wait_started is None:
+            # Stale wake: the actor already resumed (it was woken once and
+            # is running or re-scheduled). This happens when the actor was
+            # notified twice — e.g. it appeared in two waiter lists —
+            # before the first wake event ran. Calling _run() here would
+            # double-execute the state machine.
+            return
         if self._wait_started is not None:
             waited = self.engine.now - self._wait_started
             self.buckets.charge(self._wait_bucket, waited)
@@ -337,8 +429,12 @@ class CoreActor:
                 _, cycles, bucket = action
                 if cycles:
                     self.buckets.charge(bucket, cycles)
-                    self.engine.schedule(cycles, self._run)
-                    return
+                    engine = self.engine
+                    if not (engine.batched and engine.try_advance(cycles)):
+                        engine.schedule(cycles, self._run)
+                        return
+                    # Batched backend: time committed inline — keep
+                    # stepping without a heap round-trip.
                 # Zero-cost transition: keep stepping inline.
             elif kind == "wait":
                 _, condition, bucket, reason = action

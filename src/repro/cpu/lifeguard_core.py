@@ -299,6 +299,14 @@ class LifeguardCore(CoreActor):
         lifeguard = self.lifeguard
         iff = self.iff
         dispatch_cost = self.costs.dispatch_cost
+        # Batched backend: delivery decisions (wants / version consume /
+        # IF check / IF invalidation) never depend on handler effects
+        # within a record — handlers touch only lifeguard metadata and
+        # registers, which no gate reads — so the eligible events are
+        # collected and handed to handle_block() in one call. Costs and
+        # metadata-access order are identical by the handle_block
+        # contract; only the number of Python-level dispatches shrinks.
+        block = [] if self.engine.batched else None
         for event in self.it.process(record):
             if not lifeguard.wants(event):
                 continue  # no handler registered: hardware drops the event
@@ -318,9 +326,18 @@ class LifeguardCore(CoreActor):
             if (lifeguard.if_invalidate_on_write and record.is_write
                     and record.addr is not None):
                 iff.invalidate_overlapping(record.addr, record.size)
+            if block is not None:
+                block.append(event)
+                continue
             handler_cost, accesses = lifeguard.handle(event)
             cost += dispatch_cost + handler_cost
             self.events_delivered += 1
+            if accesses:
+                latency += self._metadata_access_cycles(accesses)
+        if block:
+            handler_cost, accesses = lifeguard.handle_block(block)
+            cost += dispatch_cost * len(block) + handler_cost
+            self.events_delivered += len(block)
             if accesses:
                 latency += self._metadata_access_cycles(accesses)
         return cost + latency

@@ -112,6 +112,20 @@ def calibrate(rounds: int = 3) -> float:
 # Scenario runners — each returns {scheme: {metric: int}}
 # ---------------------------------------------------------------------------
 
+#: Engine backends a suite can run under (mirrors repro.cpu.engine).
+BACKENDS = ("event", "batched")
+
+
+def suite_key(suite: str, backend: str = "event") -> str:
+    """The report key for a (suite, backend) cell.
+
+    Event-backend suites keep their historical bare names, so existing
+    baselines stay comparable; batched suites get a ``-batched`` suffix
+    and are gated against their own same-name baseline.
+    """
+    return suite if backend == "event" else f"{suite}-{backend}"
+
+
 def _metrics_of(result) -> Dict[str, int]:
     perf = result.stats.get("perf", {})
     return {
@@ -148,22 +162,22 @@ def _tainted_factory(costs=None, heap_range=None):
     return lifeguard
 
 
-def run_figure5() -> Dict[str, Dict[str, int]]:
+def run_figure5(backend: str = "event") -> Dict[str, Dict[str, int]]:
     """Figure-5 TSO walkthrough under all three schemes."""
     config = SimulationConfig.for_threads(2, memory_model=MemoryModel.TSO)
     schemes = {}
     schemes["parallel"] = _metrics_of(run_parallel_monitoring(
-        _figure5_workload(), _tainted_factory, config))
+        _figure5_workload(), _tainted_factory, config, backend=backend))
     schemes["timesliced"] = _metrics_of(run_timesliced_monitoring(
-        _figure5_workload(), _tainted_factory, config))
+        _figure5_workload(), _tainted_factory, config, backend=backend))
     schemes["no_monitoring"] = _metrics_of(run_no_monitoring(
-        _figure5_workload(), config))
+        _figure5_workload(), config, backend=backend))
     return schemes
 
 
-def run_diff_sweep(seeds) -> Dict[str, Dict[str, int]]:
+def run_diff_sweep(seeds, backend: str = "event") -> Dict[str, Dict[str, int]]:
     """The cross-scheme differential sweep; every report must be ok."""
-    reports = differential_sweep(seeds)
+    reports = differential_sweep(seeds, backend=backend)
     bad = [r for r in reports if not r.ok]
     if bad:
         raise AssertionError(
@@ -184,24 +198,25 @@ def run_diff_sweep(seeds) -> Dict[str, Dict[str, int]]:
 
 
 def run_taint_large(nthreads: int = 4,
-                    scale: ScalePreset = ScalePreset.SMALL
-                    ) -> Dict[str, Dict[str, int]]:
+                    scale: ScalePreset = ScalePreset.SMALL,
+                    backend: str = "event") -> Dict[str, Dict[str, int]]:
     """A larger synthetic taint workload under all three schemes."""
     config = SimulationConfig.for_threads(nthreads)
     factory = TaintCheck
     schemes = {}
     schemes["parallel"] = _metrics_of(run_parallel_monitoring(
         build_workload("taint_pipeline", nthreads, scale, 1),
-        factory, config))
+        factory, config, backend=backend))
     schemes["timesliced"] = _metrics_of(run_timesliced_monitoring(
         build_workload("taint_pipeline", nthreads, scale, 1),
-        factory, config))
+        factory, config, backend=backend))
     schemes["no_monitoring"] = _metrics_of(run_no_monitoring(
-        build_workload("taint_pipeline", nthreads, scale, 1), config))
+        build_workload("taint_pipeline", nthreads, scale, 1), config,
+        backend=backend))
     return schemes
 
 
-def run_archive(seeds) -> Dict[str, Dict[str, int]]:
+def run_archive(seeds, backend: str = "event") -> Dict[str, Dict[str, int]]:
     """Record-once trace archiving over seeded racy programs.
 
     Live-captures each seed under parallel TaintCheck monitoring,
@@ -224,7 +239,7 @@ def run_archive(seeds) -> Dict[str, Dict[str, int]]:
     try:
         for seed in seeds:
             result, manifest = capture_archive(
-                os.path.join(tmp, f"seed{seed}.plog"), seed)
+                os.path.join(tmp, f"seed{seed}.plog"), seed, backend=backend)
             live = _metrics_of(result)
             for metric in ("sim_cycles", "instructions", "events_popped",
                            "shadow_chunk_allocs"):
@@ -251,22 +266,26 @@ def run_archive(seeds) -> Dict[str, Dict[str, int]]:
 # Suite assembly
 # ---------------------------------------------------------------------------
 
-def _suite_scenarios(suite: str) -> Dict[str, Callable]:
+def _suite_scenarios(suite: str,
+                     backend: str = "event") -> Dict[str, Callable]:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"valid: {', '.join(BACKENDS)}")
     if suite == "quick":
         return {
-            "figure5": run_figure5,
-            "diff_sweep": lambda: run_diff_sweep(range(5)),
+            "figure5": lambda: run_figure5(backend=backend),
+            "diff_sweep": lambda: run_diff_sweep(range(5), backend=backend),
             "taint_large": lambda: run_taint_large(
-                nthreads=3, scale=ScalePreset.TINY),
-            "archive": lambda: run_archive(range(5)),
+                nthreads=3, scale=ScalePreset.TINY, backend=backend),
+            "archive": lambda: run_archive(range(5), backend=backend),
         }
     if suite == "full":
         return {
-            "figure5": run_figure5,
-            "diff_sweep": lambda: run_diff_sweep(range(25)),
+            "figure5": lambda: run_figure5(backend=backend),
+            "diff_sweep": lambda: run_diff_sweep(range(25), backend=backend),
             "taint_large": lambda: run_taint_large(
-                nthreads=4, scale=ScalePreset.SMALL),
-            "archive": lambda: run_archive(range(25)),
+                nthreads=4, scale=ScalePreset.SMALL, backend=backend),
+            "archive": lambda: run_archive(range(25), backend=backend),
         }
     raise ValueError(f"unknown suite {suite!r}; valid: {', '.join(SUITES)}")
 
@@ -323,32 +342,38 @@ def _scenario_job(payload: dict) -> dict:
     the worker (callables don't cross process boundaries); everything in
     the returned dict except ``wall_seconds`` is deterministic.
     """
-    fn = _suite_scenarios(payload["suite"])[payload["name"]]
+    fn = _suite_scenarios(payload["suite"],
+                          payload.get("backend", "event"))[payload["name"]]
     return run_scenario(fn, repeats=payload["repeats"])
 
 
 def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
               checkpoint_path: Optional[str] = None, resume: bool = False,
-              executor: str = "auto", tracer=None) -> Dict[str, object]:
+              executor: str = "auto", tracer=None,
+              backend: str = "event") -> Dict[str, object]:
     """Run every scenario in ``suite``; returns the suite result dict.
 
     ``jobs=1`` (the default) is the historical in-process loop and keeps
     ``BENCH_perf.json`` bit-identical; ``jobs=N`` fans the scenario
     matrix out over the :mod:`repro.jobs` executor (wall-clock numbers
     are then measured inside each worker, so rates stay meaningful).
+    ``backend`` selects the engine execution backend for every scenario
+    in the suite; job/checkpoint ids for non-event backends carry the
+    :func:`suite_key` suffix so backends never share checkpoint cells.
     """
     if (jobs == 1 and checkpoint_path is None and not resume
             and executor == "auto"):
         scenarios = {}
-        for name, fn in _suite_scenarios(suite).items():
+        for name, fn in _suite_scenarios(suite, backend).items():
             scenarios[name] = run_scenario(fn, repeats=repeats)
     else:
         from repro.jobs import Job, run_jobs
 
-        names = list(_suite_scenarios(suite))
+        names = list(_suite_scenarios(suite, backend))
         results = run_jobs(
-            [Job(f"{suite}:{name}",
-                 {"suite": suite, "name": name, "repeats": repeats})
+            [Job(f"{suite_key(suite, backend)}:{name}",
+                 {"suite": suite, "name": name, "repeats": repeats,
+                  "backend": backend})
              for name in names],
             _scenario_job, nworkers=jobs, checkpoint_path=checkpoint_path,
             resume=resume, executor=executor, tracer=tracer)
@@ -370,15 +395,23 @@ def run_suite(suite: str = "quick", repeats: int = 3, jobs: int = 1,
 def build_report(suites=("quick",), repeats: int = 3, jobs: int = 1,
                  checkpoint_path: Optional[str] = None,
                  resume: bool = False,
-                 executor: str = "auto") -> Dict[str, object]:
-    """Full machine-readable report (the ``BENCH_perf.json`` payload)."""
+                 executor: str = "auto",
+                 backends=("event",)) -> Dict[str, object]:
+    """Full machine-readable report (the ``BENCH_perf.json`` payload).
+
+    Each (suite, backend) cell lands under its :func:`suite_key` name:
+    event-backend suites keep the historical bare keys, batched suites
+    appear as ``quick-batched`` / ``full-batched`` alongside them.
+    """
     return {
         "schema": SCHEMA,
         "calibration_seconds": round(calibrate(), 4),
-        "suites": {suite: run_suite(suite, repeats=repeats, jobs=jobs,
-                                    checkpoint_path=checkpoint_path,
-                                    resume=resume, executor=executor)
-                   for suite in suites},
+        "suites": {suite_key(suite, backend):
+                   run_suite(suite, repeats=repeats, jobs=jobs,
+                             checkpoint_path=checkpoint_path,
+                             resume=resume, executor=executor,
+                             backend=backend)
+                   for suite in suites for backend in backends},
     }
 
 
@@ -419,7 +452,7 @@ def gate(current: Dict[str, object], baseline: Dict[str, object],
     base_suite = baseline.get("suites", {}).get(suite)
     if base_suite is None:
         return [f"baseline has no {suite!r} suite — regenerate it "
-                f"(REGEN_BASELINE=1 python -m repro.perf --suite {suite})"]
+                f"(REGEN_BASELINE=1 python -m repro.perf)"]
     cur_scenarios = current["suites"][suite]["scenarios"]
     base_scenarios = base_suite["scenarios"]
 
@@ -434,7 +467,17 @@ def gate(current: Dict[str, object], baseline: Dict[str, object],
         for metric in GATE_METRICS:
             was = base["metrics"].get(metric, 0)
             now = cur["metrics"].get(metric, 0)
-            if was and now > was * (1 + METRIC_TOLERANCE):
+            if was == 0:
+                # A zero baseline means the scenario doesn't exercise
+                # this metric at all (e.g. archive_bytes_per_kinst
+                # outside the archive scenario); any nonzero reading is
+                # new work appearing, not a percentage regression, and
+                # relative tolerance is meaningless against zero.
+                if now != 0:
+                    failures.append(
+                        f"{name}: {metric} appeared on a zero baseline "
+                        f"(0 -> {now})")
+            elif now > was * (1 + METRIC_TOLERANCE):
                 failures.append(
                     f"{name}: {metric} regressed {was} -> {now} "
                     f"(+{100 * (now - was) / was:.1f}% > "
@@ -488,6 +531,11 @@ def main(argv=None) -> int:
         description="ParaLog reproduction benchmark harness / perf gate")
     parser.add_argument("--suite", choices=SUITES + ("all",), default="quick",
                         help="scenario suite to run (default quick)")
+    parser.add_argument("--backend", choices=BACKENDS + ("both",),
+                        default="event",
+                        help="engine execution backend (default event); "
+                             "'both' runs every suite under each backend "
+                             "(batched cells land under '<suite>-batched')")
     parser.add_argument("--gate", action="store_true",
                         help="compare against the committed baseline and "
                              "exit 1 on regression")
@@ -513,14 +561,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     suites = SUITES if args.suite == "all" else (args.suite,)
+    backends = BACKENDS if args.backend == "both" else (args.backend,)
     baseline_path = Path(args.baseline) if args.baseline else BASELINE_PATH
     regen = os.environ.get("REGEN_BASELINE") == "1"
 
     report = build_report(suites=suites, repeats=args.repeats,
                           jobs=args.jobs, checkpoint_path=args.checkpoint,
-                          resume=args.resume, executor=args.executor)
-    for suite in suites:
-        print(format_suite(suite, report["suites"][suite]))
+                          resume=args.resume, executor=args.executor,
+                          backends=backends)
+    keys = [suite_key(suite, backend)
+            for suite in suites for backend in backends]
+    for key in keys:
+        print(format_suite(key, report["suites"][key]))
     print(f"calibration: {report['calibration_seconds']:.4f}s")
 
     if args.gate and not regen:
@@ -531,8 +583,8 @@ def main(argv=None) -> int:
                   f"REGEN_BASELINE=1 python -m repro.perf first")
             return 2
         failures: List[str] = []
-        for suite in suites:
-            failures.extend(gate(report, baseline, suite=suite))
+        for key in keys:
+            failures.extend(gate(report, baseline, suite=key))
         if args.output:
             write_report(report, Path(args.output))
         if failures:

@@ -71,7 +71,8 @@ def lifeguard_replay_factory(name: str):
     return lifeguard_factory(name)
 
 
-def replay_archive(archive, lifeguard: str) -> ReplayResult:
+def replay_archive(archive, lifeguard: str,
+                   backend: str = "event") -> ReplayResult:
     """Replay one archive through one lifeguard, no CMP re-simulation.
 
     ``archive`` is a path or an open :class:`TraceReader` (pass the
@@ -79,7 +80,10 @@ def replay_archive(archive, lifeguard: str) -> ReplayResult:
     amortize decode). The delivered order is the archive's global
     coherence linearization — exactly what the sequential oracle
     consumes, and proven fingerprint-identical to live parallel
-    monitoring by the differential harness.
+    monitoring by the differential harness. ``backend="batched"``
+    delivers the events through the lifeguard's block entry point
+    (:meth:`~repro.lifeguards.base.Lifeguard.handle_block`); the payload
+    stays byte-identical to the event backend's.
     """
     from repro.trace.diff import verdict_projection
 
@@ -87,7 +91,8 @@ def replay_archive(archive, lifeguard: str) -> ReplayResult:
         else TraceReader(archive)
     factory = lifeguard_replay_factory(lifeguard)
     records = reader.all_records()
-    populated = replay(records, lambda: factory(heap_range=_HEAP_RANGE))
+    populated = replay(records, lambda: factory(heap_range=_HEAP_RANGE),
+                       backend=backend)
     return ReplayResult(
         archive=reader.path,
         lifeguard=lifeguard,
@@ -131,11 +136,13 @@ def replay_job(payload: dict) -> dict:
     fails loudly in every process that touches it.
     """
     return replay_payload(
-        replay_archive(payload["archive"], payload["lifeguard"]))
+        replay_archive(payload["archive"], payload["lifeguard"],
+                       backend=payload.get("backend", "event")))
 
 
 def replay_all(archive_path: str, lifeguards=None, jobs: int = 1,
-               executor: str = "auto", tracer=None) -> Dict[str, dict]:
+               executor: str = "auto", tracer=None,
+               backend: str = "event") -> Dict[str, dict]:
     """Fan one archive out to many lifeguards; returns name -> payload.
 
     ``jobs=1`` replays in-process sharing one decoded reader; ``jobs=N``
@@ -151,14 +158,17 @@ def replay_all(archive_path: str, lifeguards=None, jobs: int = 1,
                          f"valid: {sorted(LIFEGUARDS)}")
     if jobs == 1 and executor == "auto":
         reader = TraceReader(archive_path)
-        return {name: replay_payload(replay_archive(reader, name))
+        return {name: replay_payload(replay_archive(reader, name,
+                                                    backend=backend))
                 for name in names}
 
     from repro.jobs import Job, run_jobs
 
+    marker = "" if backend == "event" else f":{backend}"
     results = run_jobs(
-        [Job(f"replay:{name}",
-             {"archive": str(archive_path), "lifeguard": name})
+        [Job(f"replay:{name}{marker}",
+             {"archive": str(archive_path), "lifeguard": name,
+              "backend": backend})
          for name in names],
         replay_job, nworkers=jobs, executor=executor, tracer=tracer)
     payloads: Dict[str, dict] = {}
@@ -173,7 +183,8 @@ def replay_all(archive_path: str, lifeguards=None, jobs: int = 1,
 
 def capture_archive(path: str, seed: int, lifeguard: str = "taintcheck",
                     nthreads: int = 2, length: int = 18,
-                    config: Optional[SimulationConfig] = None):
+                    config: Optional[SimulationConfig] = None,
+                    backend: str = "event"):
     """Run one seeded racy program live and archive its captured order.
 
     Returns ``(run_result, manifest)``. The archive records the
@@ -187,7 +198,7 @@ def capture_archive(path: str, seed: int, lifeguard: str = "taintcheck",
     factory = lifeguard_replay_factory(lifeguard)
     config = config or SimulationConfig.for_threads(nthreads)
     result = run_parallel_monitoring(program.workload(), factory, config,
-                                     keep_trace=True)
+                                     keep_trace=True, backend=backend)
     manifest = write_archive(
         path, result.trace, nthreads=nthreads, config=config,
         meta={

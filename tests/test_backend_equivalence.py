@@ -1,0 +1,136 @@
+"""Batched-vs-event backend equivalence, across all four lifeguards.
+
+The batched backend's whole contract is *bit-identity*: coalescing
+same-actor events in the engine and delivering log-buffer blocks
+through the lifeguards' bulk entry points must change nothing a user
+can observe — not the flight-recorder trace hash (every event is cycle
+stamped, so this pins every retire time), not the violation lists, not
+the final shadow-memory state, not the cycle buckets, not any perf
+counter outside the engine-mechanics pair (``events_popped``,
+``batch_advances``). :func:`repro.trace.diff.backend_equivalence_check`
+asserts all of that for one seeded program; this suite drives it across
+the lifeguard × scheme matrix and over hypothesis-random programs, and
+separately pins the oracle replay's cross-record block path against the
+per-event reference.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import SimulationConfig
+from repro.cpu.os_model import AddressLayout
+from repro.lifeguards import LIFEGUARDS
+from repro.lifeguards import oracle as oracle_mod
+from repro.lifeguards.oracle import replay
+from repro.platform import run_parallel_monitoring
+from repro.trace.diff import (
+    BACKEND_DEPENDENT_COUNTERS,
+    RacyProgram,
+    backend_equivalence_check,
+    lifeguard_factory,
+)
+
+LIFEGUARD_NAMES = sorted(LIFEGUARDS)
+SCHEMES = ("parallel", "timesliced")
+_HEAP_RANGE = AddressLayout.heap_range()
+
+
+class TestEquivalenceMatrix:
+    """Fixed seeds, full lifeguard × scheme matrix."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("lifeguard", LIFEGUARD_NAMES)
+    def test_backends_bit_identical(self, lifeguard, scheme):
+        for seed in (0, 1, 7):
+            report = backend_equivalence_check(seed, lifeguard=lifeguard,
+                                               scheme=scheme)
+            assert report.ok, (
+                f"seed {seed} {lifeguard}/{scheme}:\n" + report.summary())
+
+    def test_backend_dependent_counters_are_the_only_exemptions(self):
+        # The equivalence check may exempt engine-mechanics counters
+        # only; anything semantic (cycles, deliveries, stalls, shadow
+        # residency) must be compared. Guard the exemption list itself.
+        assert BACKEND_DEPENDENT_COUNTERS == {"events_popped",
+                                              "batch_advances"}
+
+    def test_batched_backend_actually_batches(self):
+        # Not just equivalent — the batched run must do measurably
+        # fewer heap pops, or the backend is a no-op with extra steps.
+        report = backend_equivalence_check(3, lifeguard="taintcheck",
+                                           scheme="parallel")
+        assert report.ok, report.summary()
+        assert (report.perf["batched"]["events_popped"]
+                < report.perf["event"]["events_popped"])
+        assert report.perf["batched"]["batch_advances"] > 0
+        assert report.perf["event"]["batch_advances"] == 0
+
+
+class TestEquivalenceProperties:
+    """Hypothesis-random programs: the property form of the claim."""
+
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           lifeguard=st.sampled_from(LIFEGUARD_NAMES),
+           scheme=st.sampled_from(SCHEMES),
+           nthreads=st.integers(min_value=2, max_value=3),
+           length=st.integers(min_value=4, max_value=30))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_bit_identical(self, seed, lifeguard, scheme,
+                                           nthreads, length):
+        report = backend_equivalence_check(
+            seed, lifeguard=lifeguard, nthreads=nthreads, length=length,
+            scheme=scheme)
+        assert report.ok, (
+            f"seed {seed} {lifeguard}/{scheme} t{nthreads} "
+            f"len{length}:\n" + report.summary())
+
+
+def _replay_both_ways(trace, lifeguard):
+    factory = lifeguard_factory(lifeguard)
+    out = {}
+    for backend in ("event", "batched"):
+        populated = replay(trace, lambda: factory(heap_range=_HEAP_RANGE),
+                           backend=backend)
+        out[backend] = (populated.metadata_fingerprint(),
+                        [(v.kind, v.tid, v.rid, v.detail)
+                         for v in populated.violations])
+    return out
+
+
+class TestOracleReplayBlocks:
+    """The replay path batches ACROSS records (legal only there — no
+    timing); its block boundaries must be invisible."""
+
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           lifeguard=st.sampled_from(LIFEGUARD_NAMES),
+           length=st.integers(min_value=6, max_value=40))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_block_replay_matches_per_event(self, seed, lifeguard, length):
+        program = RacyProgram.generate(seed, nthreads=2, length=length)
+        result = run_parallel_monitoring(
+            program.workload(), lifeguard_factory(lifeguard),
+            SimulationConfig.for_threads(2), keep_trace=True)
+        both = _replay_both_ways(result.trace, lifeguard)
+        assert both["event"] == both["batched"]
+
+    @pytest.mark.parametrize("block_events", [1, 2, 3, 5])
+    def test_tiny_block_sizes_flush_correctly(self, block_events,
+                                              monkeypatch):
+        # Tiny blocks force flushes mid-record and right before
+        # versioned-load snapshots — the two spots a flush bug would
+        # hide at the default 256-event block size.
+        program = RacyProgram.generate(11, nthreads=2, length=24)
+        result = run_parallel_monitoring(
+            program.workload(), lifeguard_factory("taintcheck"),
+            SimulationConfig.for_threads(2), keep_trace=True)
+        reference = _replay_both_ways(result.trace, "taintcheck")["event"]
+        monkeypatch.setattr(oracle_mod, "REPLAY_BLOCK_EVENTS", block_events)
+        assert _replay_both_ways(result.trace,
+                                 "taintcheck")["batched"] == reference
+
+    def test_replay_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            replay([], lambda: lifeguard_factory("taintcheck")(
+                heap_range=_HEAP_RANGE), backend="warp")

@@ -386,6 +386,38 @@ class TestWatchdogAndDiagnostics:
         assert "window=100" in str(exc.value)
         assert set(exc.value.waiting) == {"s1"}
 
+    def test_note_finish_double_call_raises(self):
+        # Red/green for the double-finish guard: a second note_finish
+        # used to drive _unfinished negative silently, disabling the
+        # watchdog's livelock check and the deadlock diagnosis.
+        engine = Engine()
+        actor = ScriptedActor(engine, "a", [("delay", 1, "x")])
+        actor.start()
+        engine.run()
+        assert engine._unfinished == 0
+        with pytest.raises(SimulationError, match="note_finish called twice"):
+            engine.note_finish(actor)
+        assert engine._unfinished == 0  # the count was not corrupted
+
+    def test_note_finish_guard_keeps_watchdog_armed(self):
+        # With a corrupted (negative) _unfinished the livelock check
+        # `and self._unfinished` went falsy-or-wrong; the guard keeps the
+        # counter exact so the watchdog still fires for remaining actors.
+        engine = Engine(watchdog=Watchdog(window=100))
+
+        class Spinner(CoreActor):
+            def step(self):
+                return ("delay", 10, "spin")
+
+        done = ScriptedActor(engine, "d", [("delay", 1, "x")])
+        done.start()
+        Spinner(engine, "s").start()
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(max_cycles=100_000)
+        assert exc.value.kind == "livelock"
+        with pytest.raises(SimulationError):
+            engine.note_finish(done)
+
     def test_deadlock_error_str_renders_waiting_and_cycle(self):
         engine = Engine()
         condition = Condition("never", owners=[])
@@ -396,3 +428,286 @@ class TestWatchdogAndDiagnostics:
         text = str(exc.value)
         assert "waiting:" in text
         assert "stuck" in text and "hopeless" in text
+
+
+class TestNotifyAllReentrancy:
+    """Pin the notify_all semantics under reentrant waits and wakes."""
+
+    def test_rewait_during_pass_not_renotified_by_same_pass(self):
+        # A and B wait; one notify_all pass wakes both. A re-waits
+        # immediately; B's wake must not re-trigger A within the pass —
+        # A needs a *later* notify to be woken again.
+        engine = Engine()
+        condition = Condition("c")
+
+        class Rewaiter(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "a")
+                self.wakes = 0
+                self.ready = False
+            def step(self):
+                if self.ready:
+                    return ("done",)
+                self.wakes += 1
+                return ("wait", condition, "b", "not ready")
+
+        class Bystander(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "b")
+                self.woken = False
+            def step(self):
+                if self.woken:
+                    return ("done",)
+                self.woken = True
+                return ("wait", condition, "b", "parked")
+
+        a = Rewaiter(engine)
+        b = Bystander(engine)
+        a.start()
+        b.start()
+        engine.schedule(1, lambda: condition.notify_all(engine))
+
+        def release():
+            a.ready = True
+            condition.notify_all(engine)
+        engine.schedule(5, release)
+        engine.run()
+        assert a.finished and b.finished
+        # Woken once per notify_all pass: the initial wait counts as the
+        # first step, each pass wakes exactly once.
+        assert a.wakes == 2
+        assert condition.waiter_count == 0
+
+    def test_synchronous_renotify_from_waiter_wakes_rewaiter_once(self):
+        # B's wake synchronously notifies the same condition while A has
+        # already re-waited: A must be woken exactly once more (not
+        # stranded, not doubly woken).
+        engine = Engine()
+        condition = Condition("c")
+
+        class Rewaiter(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "a")
+                self.wakes = 0
+                self.ready = False
+            def step(self):
+                if self.ready:
+                    return ("done",)
+                self.wakes += 1
+                return ("wait", condition, "b", "not ready")
+
+        a = Rewaiter(engine)
+
+        class Renotifier(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "b")
+                self.phase = 0
+            def step(self):
+                if self.phase == 0:
+                    self.phase = 1
+                    return ("wait", condition, "b", "parked")
+                a.ready = True
+                condition.notify_all(engine)  # reentrant: mid-_run
+                return ("done",)
+
+        # Waiter order in the list: a first, b second — a's wake runs
+        # first and re-waits before b's reentrant notify fires.
+        a.start()
+        Renotifier(engine).start()
+        engine.schedule(1, lambda: condition.notify_all(engine))
+        engine.run()
+        assert a.finished
+        assert a.wakes == 2  # initial pass + b's reentrant notify
+        assert condition.waiter_count == 0
+
+    def test_duplicate_waiter_entries_do_not_double_run(self):
+        # Red/green for the stale-wake guard: if an actor ends up
+        # scheduled for two wakes (duplicate waiter-list entries), the
+        # second wake used to re-enter _run() and double-execute the
+        # state machine — here visibly finishing at the wrong time after
+        # consuming the script twice as fast.
+        engine = Engine()
+        condition = Condition("c")
+        actor = ScriptedActor(engine, "a", [("wait", condition, "b", "once"),
+                                            ("delay", 5, "x")])
+        actor.start()
+
+        def duplicate_and_notify():
+            condition.add_waiter(actor)  # duplicate entry
+            condition.notify_all(engine)
+
+        engine.schedule(1, duplicate_and_notify)
+        assert engine.run() == 6
+        assert actor.finished
+        assert actor.finish_time == 6
+        assert actor.buckets.get("x") == 5
+        # Exactly three steps executed: wait, delay, done — no double-run.
+        assert [t for t, _ in actor.trace] == [0, 1]
+
+    def test_stale_wake_on_running_actor_is_noop(self):
+        # A directly delivered stale wake (no wait in progress) must not
+        # re-enter the state machine.
+        engine = Engine()
+        actor = ScriptedActor(engine, "a", [("delay", 5, "x"),
+                                            ("delay", 5, "x")])
+        actor.start()
+        engine.schedule(2, actor.wake)  # actor is mid-delay, not waiting
+        assert engine.run() == 10
+        assert actor.buckets.get("x") == 10
+        assert len(actor.trace) == 2
+
+
+class TestBatchedBackend:
+    """The batched backend must be observably identical to event mode."""
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            Engine(backend="compiled")
+
+    def test_event_backend_never_batch_advances(self):
+        engine = Engine()
+        ScriptedActor(engine, "a", [("delay", 5, "x")] * 10).start()
+        engine.run()
+        assert engine.batch_advances == 0
+
+    def test_single_actor_advances_inline(self):
+        event, batched = Engine(), Engine(backend="batched")
+        results = {}
+        for name, engine in (("event", event), ("batched", batched)):
+            actor = ScriptedActor(engine, "a", [("delay", 5, "x")] * 20)
+            actor.start()
+            results[name] = (engine.run(), list(actor.trace),
+                             actor.buckets.get("x"))
+        assert results["event"] == results["batched"]
+        # The lone actor's 20 delays need only the initial start event.
+        assert batched.batch_advances > 0
+        assert batched.events_popped < event.events_popped
+
+    def test_interleaved_actors_identical_step_times(self):
+        def build(backend):
+            engine = Engine(backend=backend)
+            a = ScriptedActor(engine, "a",
+                              [("delay", 3, "x"), ("delay", 7, "x"),
+                               ("delay", 2, "x"), ("delay", 11, "x")])
+            b = ScriptedActor(engine, "b",
+                              [("delay", 5, "x"), ("delay", 5, "x"),
+                               ("delay", 1, "x"), ("delay", 6, "x")])
+            a.start()
+            b.start()
+            total = engine.run()
+            return total, a.trace, b.trace
+        assert build("event") == build("batched")
+
+    def test_equal_time_heap_event_blocks_inline_advance(self):
+        # Strict inequality: an equal-time event has a smaller seq and
+        # must run first, so try_advance must refuse.
+        engine = Engine(backend="batched")
+        order = []
+        engine.schedule(5, lambda: order.append("scheduled"))
+
+        class Stepper(CoreActor):
+            def __init__(self, e):
+                super().__init__(e, "s")
+                self.left = 1
+            def step(self):
+                if not self.left:
+                    order.append("actor-done")
+                    return ("done",)
+                self.left -= 1
+                return ("delay", 5, "x")
+
+        Stepper(engine).start()
+        engine.run()
+        assert order == ["scheduled", "actor-done"]
+
+    def test_timeout_semantics_identical(self):
+        def trip(backend):
+            engine = Engine(backend=backend)
+            class Forever(CoreActor):
+                def step(self):
+                    return ("delay", 10, "x")
+            Forever(engine, "f").start()
+            with pytest.raises(SimulationTimeout) as exc:
+                engine.run(max_cycles=100)
+            return (exc.value.cycle, exc.value.pending_events, engine.now,
+                    len(engine._heap))
+        assert trip("event") == trip("batched")
+
+    def test_timeout_resume_identical(self):
+        def resume(backend):
+            engine = Engine(backend=backend)
+            class Countdown(CoreActor):
+                def __init__(self, e):
+                    super().__init__(e, "c")
+                    self.left = 5
+                    self.steps = []
+                def step(self):
+                    if not self.left:
+                        return ("done",)
+                    self.left -= 1
+                    self.steps.append(self.engine.now)
+                    return ("delay", 10, "x")
+            actor = Countdown(engine)
+            actor.start()
+            with pytest.raises(SimulationTimeout):
+                engine.run(max_cycles=25)
+            total = engine.run()
+            return total, actor.steps, actor.buckets.get("x")
+        assert resume("event") == resume("batched")
+
+    def test_livelock_semantics_identical(self):
+        def livelock(backend):
+            engine = Engine(watchdog=Watchdog(window=100), backend=backend)
+            class Spinner(CoreActor):
+                def step(self):
+                    return ("delay", 10, "spin")
+            Spinner(engine, "s1").start()
+            with pytest.raises(DeadlockError) as exc:
+                engine.run(max_cycles=100_000)
+            return exc.value.kind, engine.now, str(exc.value)
+        assert livelock("event") == livelock("batched")
+
+    def test_watchdog_quiet_when_retiring_identical(self):
+        def run(backend):
+            engine = Engine(watchdog=Watchdog(window=50), backend=backend)
+            class Worker(CoreActor):
+                def __init__(self, e):
+                    super().__init__(e, "w")
+                    self.left = 20
+                def step(self):
+                    if not self.left:
+                        return ("done",)
+                    self.left -= 1
+                    self.engine.note_retire()
+                    return ("delay", 40, "useful")
+            Worker(engine).start()
+            return engine.run()
+        assert run("event") == run("batched") == 800
+
+    def test_condition_wakes_identical(self):
+        def run(backend):
+            engine = Engine(backend=backend)
+            condition = Condition("c")
+            waiter = ScriptedActor(engine, "w",
+                                   [("wait", condition, "blocked", "t"),
+                                    ("delay", 4, "x")])
+            waiter.start()
+
+            class Notifier(CoreActor):
+                def __init__(self, e):
+                    super().__init__(e, "n")
+                    self.fired = False
+                def step(self):
+                    if self.fired:
+                        return ("done",)
+                    self.fired = True
+                    return ("delay", 10, "y")
+                def on_finish(self):
+                    condition.notify_all(engine)
+
+            Notifier(engine).start()
+            total = engine.run()
+            shape = [(t, action[0]) for t, action in waiter.trace]
+            return (total, shape, waiter.buckets.get("blocked"),
+                    waiter.buckets.get("x"), waiter.finish_time)
+        assert run("event") == run("batched")

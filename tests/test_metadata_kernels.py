@@ -1,0 +1,302 @@
+"""Bulk batched-backend kernels vs the naive per-byte oracle.
+
+The batched backend's shadow-memory entry points (`get_many`,
+`bits_all_set_many`, `write_block`, `copy_range`, and the vectorized
+`snapshot_range` path) each have a numpy kernel and a pure-bytearray
+fallback; both must be value-identical to the obviously-correct scalar
+get/set loop, including at 64 KB chunk boundaries, for every
+``bits_per_byte``. When numpy is absent (or REPRO_NO_NUMPY=1) the same
+tests exercise the fallback paths — that is the point.
+"""
+
+import pytest
+
+from repro.lifeguards.metadata import (
+    CHUNK_APP_BYTES,
+    HAVE_NUMPY,
+    NP_MIN_BATCH,
+    NP_MIN_SPAN,
+    MetadataMap,
+)
+
+#: Window straddling one chunk boundary.
+BASE = CHUNK_APP_BYTES - 96
+WINDOW = 256
+
+BITS = [1, 2, 4, 8]
+
+
+def scalar_get_access(metadata, addr, size):
+    result = 0
+    for a in range(addr, addr + size):
+        result |= metadata.get(a)
+    return result
+
+
+def populate(metadata, seed=1234):
+    """Deterministic mixed pattern across the chunk boundary."""
+    state = seed
+    for a in range(BASE, BASE + WINDOW):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        metadata.set(a, state & metadata._mask)
+
+
+class TestGetMany:
+    @pytest.mark.parametrize("bits", BITS)
+    def test_matches_scalar_loop_across_boundary(self, bits):
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        accesses = [(BASE + i * 7, 1 + (i % 8)) for i in range(40)]
+        expected = [metadata.get_access(a, s) for a, s in accesses]
+        assert metadata.get_many(accesses) == expected
+        scalar = [scalar_get_access(metadata, a, s) for a, s in accesses]
+        assert expected == scalar
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_in_chunk_vectorized_gather_matches_scalar(self, bits):
+        # Regression: every access resident in ONE chunk, none straddling
+        # the boundary, batch >= NP_MIN_BATCH — the only shape that takes
+        # the live numpy gather (the boundary tests all fall back). The
+        # int64 shift counts used to promote the uint8 accumulate and
+        # raise a ufunc casting error here.
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        accesses = [(BASE - 2048 + i * 5, 1 + (i % 8)) for i in range(32)]
+        expected = [scalar_get_access(metadata, a, s) for a, s in accesses]
+        assert metadata.get_many(accesses) == expected
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_cross_chunk_access_falls_back_correctly(self, bits):
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        # Every access straddles the chunk boundary: the same-chunk numpy
+        # gather cannot apply, and the answer must still be exact.
+        accesses = [(CHUNK_APP_BYTES - 4, 8)] * (NP_MIN_BATCH + 2)
+        expected = [scalar_get_access(metadata, a, s) for a, s in accesses]
+        assert metadata.get_many(accesses) == expected
+
+    def test_absent_chunk_reads_zero(self):
+        metadata = MetadataMap(2)
+        accesses = [(10 * CHUNK_APP_BYTES + i, 4)
+                    for i in range(NP_MIN_BATCH + 4)]
+        assert metadata.get_many(accesses) == [0] * len(accesses)
+        assert metadata.resident_chunks == 0
+
+    def test_small_batch_uses_scalar_path(self):
+        metadata = MetadataMap(2)
+        metadata.set(BASE, 3)
+        assert metadata.get_many([(BASE, 2)]) == [3]
+
+    def test_empty_batch(self):
+        assert MetadataMap(2).get_many([]) == []
+
+
+class TestBitsAllSetMany:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_matches_scalar_definition(self, bits):
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        required = 0b01
+        accesses = [(BASE + i * 5, i % 9) for i in range(40)]
+        expected = [
+            all(metadata.get(a + i) & required == required
+                for i in range(s))
+            for a, s in accesses
+        ]
+        assert metadata.bits_all_set_many(accesses, required) == expected
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_allocated_bit_semantics_match_all_equal(self, bits):
+        # With a single required bit and 1-bit metadata this is exactly
+        # AddrCheck's all_equal(..., ALLOCATED) check.
+        if bits != 1:
+            pytest.skip("all_equal equivalence is the 1-bit case")
+        metadata = MetadataMap(bits)
+        metadata.set_range(BASE + 3, 70, 1)
+        accesses = [(BASE + i, 8) for i in range(0, 80, 3)]
+        expected = [metadata.all_equal(a, s, 1) for a, s in accesses]
+        assert metadata.bits_all_set_many(accesses, 1) == expected
+
+    def test_absent_chunk(self):
+        metadata = MetadataMap(2)
+        accesses = [(10 * CHUNK_APP_BYTES + i, 4)
+                    for i in range(NP_MIN_BATCH + 2)]
+        assert metadata.bits_all_set_many(accesses, 0b01) == \
+            [False] * len(accesses)
+        assert metadata.bits_all_set_many(accesses, 0) == \
+            [True] * len(accesses)
+
+    def test_size_zero_is_vacuously_true(self):
+        metadata = MetadataMap(2)
+        accesses = [(BASE, 0)] * (NP_MIN_BATCH + 2)
+        assert metadata.bits_all_set_many(accesses, 0b11) == \
+            [True] * len(accesses)
+
+
+class TestWriteBlock:
+    @pytest.mark.parametrize("bits", BITS)
+    def test_inverse_of_snapshot_across_boundary(self, bits):
+        metadata = MetadataMap(bits)
+        mask = metadata._mask
+        values = [(i * 37 + 11) & mask for i in range(WINDOW)]
+        metadata.write_block(BASE, values)
+        assert metadata.snapshot_range(BASE, WINDOW) == values
+        for i, v in enumerate(values):
+            assert metadata.get(BASE + i) == v
+        # Neighbours untouched.
+        assert metadata.get(BASE - 1) == 0
+        assert metadata.get(BASE + WINDOW) == 0
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_matches_scalar_set_loop(self, bits):
+        bulk, scalar = MetadataMap(bits), MetadataMap(bits)
+        populate(bulk)
+        populate(scalar)
+        mask = bulk._mask
+        values = [(i * 13 + 5) & mask for i in range(NP_MIN_SPAN * 3)]
+        addr = CHUNK_APP_BYTES - len(values) // 2  # straddle the boundary
+        bulk.write_block(addr, values)
+        for i, v in enumerate(values):
+            scalar.set(addr + i, v)
+        span = range(addr - 8, addr + len(values) + 8)
+        assert [bulk.get(a) for a in span] == [scalar.get(a) for a in span]
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_unaligned_partial_byte_edges(self, bits):
+        # Odd offsets/lengths exercise the metadata-byte head/tail
+        # read-modify-write in the packed path.
+        metadata = MetadataMap(bits)
+        metadata.set_range(BASE, 64, metadata._mask)
+        values = [1] * (NP_MIN_SPAN + 3)
+        metadata.write_block(BASE + 1, values)
+        assert metadata.get(BASE) == metadata._mask
+        for i in range(len(values)):
+            assert metadata.get(BASE + 1 + i) == 1
+        assert metadata.get(BASE + 1 + len(values)) == metadata._mask
+
+    def test_all_zero_block_never_allocates(self):
+        metadata = MetadataMap(2)
+        metadata.write_block(BASE, [0] * WINDOW)
+        assert metadata.resident_chunks == 0
+        assert metadata.chunk_allocations == 0
+
+    def test_mixed_zero_spans_allocate_only_touched_chunks(self):
+        metadata = MetadataMap(2)
+        # Zeros into chunk N-1, nonzeros into chunk N.
+        values = [0] * 96 + [3] * (WINDOW - 96)
+        metadata.write_block(BASE, values)
+        assert metadata.resident_chunks == 1
+        assert metadata.get(CHUNK_APP_BYTES) == 3
+
+
+class TestCopyRange:
+    @pytest.mark.parametrize("bits", BITS)
+    def test_propagates_exactly(self, bits):
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        src, dst, length = BASE, BASE + 3 * CHUNK_APP_BYTES + 17, WINDOW
+        expected = metadata.snapshot_range(src, length)
+        metadata.copy_range(src, dst, length)
+        assert metadata.snapshot_range(dst, length) == expected
+        # Source unchanged.
+        assert metadata.snapshot_range(src, length) == expected
+
+    def test_overlapping_copy_has_memcpy_semantics(self):
+        metadata = MetadataMap(8)
+        values = list(range(1, 41))
+        metadata.write_block(BASE, values)
+        metadata.copy_range(BASE, BASE + 10, len(values))
+        assert metadata.snapshot_range(BASE + 10, len(values)) == values
+
+    def test_zero_copy_never_allocates(self):
+        metadata = MetadataMap(2)
+        metadata.copy_range(BASE, BASE + CHUNK_APP_BYTES * 5, WINDOW)
+        assert metadata.resident_chunks == 0
+
+
+class TestKernelProperties:
+    """Random interleavings of bulk and scalar ops vs a dict oracle."""
+
+    @pytest.mark.parametrize("bits", [1, 2, 8])
+    def test_random_ops(self, bits):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        mask = (1 << bits) - 1
+        addrs = st.integers(BASE - 8, BASE + WINDOW)
+        ops = st.lists(
+            st.one_of(
+                st.tuples(st.just("set"), addrs,
+                          st.integers(0, mask)),
+                st.tuples(st.just("write_block"), addrs,
+                          st.lists(st.integers(0, mask),
+                                   min_size=1, max_size=48)),
+                st.tuples(st.just("copy"), addrs, addrs,
+                          st.integers(1, 32)),
+            ),
+            max_size=24,
+        )
+
+        @hypothesis.given(ops=ops)
+        @hypothesis.settings(max_examples=60, deadline=None)
+        def run(ops):
+            metadata = MetadataMap(bits)
+            oracle = {}
+            for op in ops:
+                if op[0] == "set":
+                    _, addr, value = op
+                    metadata.set(addr, value)
+                    oracle[addr] = value
+                elif op[0] == "write_block":
+                    _, addr, values = op
+                    metadata.write_block(addr, values)
+                    for i, v in enumerate(values):
+                        oracle[addr + i] = v
+                else:
+                    _, src, dst, length = op
+                    metadata.copy_range(src, dst, length)
+                    copied = [oracle.get(src + i, 0)
+                              for i in range(length)]
+                    for i, v in enumerate(copied):
+                        oracle[dst + i] = v
+            lo, hi = BASE - 64, BASE + WINDOW + 64
+            span = hi - lo
+            expected = [oracle.get(a, 0) for a in range(lo, hi)]
+            assert metadata.snapshot_range(lo, span) == expected
+            accesses = [(lo + i * 11, 1 + i % 8)
+                        for i in range(span // 11)]
+            assert metadata.get_many(accesses) == [
+                metadata.get_access(a, s) for a, s in accesses]
+            required = 1
+            assert metadata.bits_all_set_many(accesses, required) == [
+                all(oracle.get(a + i, 0) & required == required
+                    for i in range(s))
+                for a, s in accesses]
+
+        run()
+
+
+class TestNumpyFallbackParity:
+    """When numpy is active, the kernel and scalar paths must agree."""
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_unpack_span_parity(self, bits):
+        if not HAVE_NUMPY:
+            pytest.skip("numpy inactive: only the fallback path exists")
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        chunk_no = BASE // CHUNK_APP_BYTES
+        chunk = metadata._chunks[chunk_no]
+        offset = BASE - chunk_no * CHUNK_APP_BYTES
+        span = CHUNK_APP_BYTES - offset  # to the end of the chunk
+        assert metadata._unpack_span_np(chunk, offset, span) == \
+            metadata._unpack_span_py(chunk, offset, span)
+
+    @pytest.mark.parametrize("bits", BITS)
+    def test_snapshot_below_threshold_matches_above(self, bits):
+        metadata = MetadataMap(bits)
+        populate(metadata)
+        long = metadata.snapshot_range(BASE, NP_MIN_SPAN * 4)
+        short = [metadata.snapshot_range(BASE + i, 1)[0]
+                 for i in range(NP_MIN_SPAN * 4)]
+        assert long == short

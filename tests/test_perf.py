@@ -16,8 +16,14 @@ from repro.perf import (
     run_archive,
     run_figure5,
     run_scenario,
+    suite_key,
     write_report,
 )
+
+
+def _figure5_only(suite, backend="event"):
+    """Single-scenario suite table used to keep end-to-end tests fast."""
+    return {"figure5": lambda: run_figure5(backend=backend)}
 
 
 class TestScenarios:
@@ -134,6 +140,59 @@ class TestGate:
         failures = gate(_fake_report(), baseline, suite="full")
         assert failures and "full" in failures[0]
 
+    def test_zero_baseline_with_zero_current_passes(self):
+        # archive_bytes_per_kinst is legitimately 0 outside the archive
+        # scenario; 0 -> 0 must not fail.
+        baseline = _fake_report()
+        current = _fake_report()
+        for report in (baseline, current):
+            metrics = report["suites"]["quick"]["scenarios"]["figure5"]
+            metrics["metrics"]["archive_bytes_per_kinst"] = 0
+        assert gate(current, baseline) == []
+
+    def test_zero_baseline_with_nonzero_current_fails(self):
+        # Relative tolerance is meaningless against a zero baseline: any
+        # nonzero reading is new work appearing and must fail, not slip
+        # through the vacuous `0 * 1.10 >= anything` comparison.
+        baseline = _fake_report()
+        current = _fake_report()
+        baseline["suites"]["quick"]["scenarios"]["figure5"][
+            "metrics"]["archive_bytes_per_kinst"] = 0
+        current["suites"]["quick"]["scenarios"]["figure5"][
+            "metrics"]["archive_bytes_per_kinst"] = 7
+        failures = gate(current, baseline)
+        assert any("archive_bytes_per_kinst" in line
+                   and "zero baseline" in line for line in failures)
+
+
+class TestSuiteKeys:
+    def test_event_backend_keeps_bare_name(self):
+        assert suite_key("quick") == "quick"
+        assert suite_key("full", "event") == "full"
+
+    def test_batched_backend_gets_suffix(self):
+        assert suite_key("quick", "batched") == "quick-batched"
+
+    def test_unknown_backend_rejected_by_suite_table(self):
+        with pytest.raises(ValueError, match="backend"):
+            perf._suite_scenarios("quick", "warp")
+
+    def test_build_report_keys_both_backends(self, monkeypatch):
+        monkeypatch.setattr(perf, "_suite_scenarios", _figure5_only)
+        report = build_report(suites=("quick",), repeats=1,
+                              backends=("event", "batched"))
+        assert set(report["suites"]) == {"quick", "quick-batched"}
+        event = report["suites"]["quick"]["scenarios"]["figure5"]
+        batched = report["suites"]["quick-batched"]["scenarios"]["figure5"]
+        # The backends agree on every simulated outcome; only the
+        # engine-mechanics counter (events_popped) may differ.
+        for metric in ("sim_cycles", "instructions", "shadow_chunks_peak",
+                       "shadow_chunk_allocs"):
+            assert (event["metrics"][metric]
+                    == batched["metrics"][metric]), metric
+        assert (batched["metrics"]["events_popped"]
+                <= event["metrics"]["events_popped"])
+
 
 class TestBaselineIO:
     def test_write_and_load_roundtrip(self, tmp_path):
@@ -166,17 +225,13 @@ class TestBaselineIO:
 class TestEndToEnd:
     def test_report_build_and_self_gate(self, monkeypatch):
         """A fresh single-scenario report gates cleanly against itself."""
-        monkeypatch.setattr(
-            perf, "_suite_scenarios",
-            lambda suite: {"figure5": run_figure5})
+        monkeypatch.setattr(perf, "_suite_scenarios", _figure5_only)
         report = build_report(suites=("quick",), repeats=1)
         assert report["schema"] == SCHEMA
         assert gate(report, copy.deepcopy(report)) == []
 
     def test_cli_gate_against_self(self, tmp_path, monkeypatch, capsys):
-        monkeypatch.setattr(
-            perf, "_suite_scenarios",
-            lambda suite: {"figure5": run_figure5})
+        monkeypatch.setattr(perf, "_suite_scenarios", _figure5_only)
         baseline = tmp_path / "bench.json"
         # First invocation (no --gate) writes the baseline.
         assert perf.main(["--suite", "quick", "--repeats", "1",
@@ -190,9 +245,7 @@ class TestEndToEnd:
 
     def test_cli_gate_fails_on_fabricated_regression(self, tmp_path,
                                                      monkeypatch, capsys):
-        monkeypatch.setattr(
-            perf, "_suite_scenarios",
-            lambda suite: {"figure5": run_figure5})
+        monkeypatch.setattr(perf, "_suite_scenarios", _figure5_only)
         baseline_path = tmp_path / "bench.json"
         assert perf.main(["--suite", "quick", "--repeats", "1",
                           "--output", str(baseline_path)]) == 0
@@ -209,9 +262,7 @@ class TestEndToEnd:
         assert "PERF GATE FAILED" in out
 
     def test_regen_baseline_env_overwrites(self, tmp_path, monkeypatch):
-        monkeypatch.setattr(
-            perf, "_suite_scenarios",
-            lambda suite: {"figure5": run_figure5})
+        monkeypatch.setattr(perf, "_suite_scenarios", _figure5_only)
         baseline_path = tmp_path / "bench.json"
         write_report(_fake_report(cycles=1), baseline_path)
         monkeypatch.setenv("REGEN_BASELINE", "1")
