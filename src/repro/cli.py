@@ -20,6 +20,9 @@ Commands:
 * ``swaptions`` — the Section 7 swaptions analysis.
 * ``perf`` — the benchmark harness / regression gate (forwards to
   ``python -m repro.perf``; see its ``--help``).
+* ``serve`` — the long-lived monitoring service: submit runs over REST,
+  stream verdicts + trace events live via Server-Sent Events (forwards
+  to ``python -m repro.serve``; see its ``--help``).
 * ``list`` — available workloads and lifeguards.
 
 ``run`` exit codes: 0 success, 3 diagnosed deadlock/livelock
@@ -286,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False)
     perf.add_argument("perf_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to repro.perf")
+
+    serve = sub.add_parser(
+        "serve", help="monitoring-as-a-service job server: REST run "
+                      "submission + live SSE verdict/trace streaming "
+                      "(repro.serve)",
+        add_help=False)
+    serve.add_argument("serve_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro.serve")
 
     sub.add_parser("list", help="available workloads and lifeguards")
     return parser
@@ -569,6 +580,11 @@ def _dispatch(argv) -> int:
     if argv and argv[0] == "perf":
         from repro.perf import main as perf_main
         return perf_main(argv[1:])
+    # `serve` likewise owns its argument vocabulary (and its own clean
+    # Ctrl-C shutdown path, which must return 0, not EXIT_ABNORMAL).
+    if argv and argv[0] == "serve":
+        from repro.serve import main as serve_main
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.command == "table1":

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — same as ``python -m repro serve``."""
+
+import sys
+
+from repro.serve.app import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""A deliberately small HTTP/1.1 layer over ``asyncio`` streams.
+
+The service must not grow hard dependencies (ROADMAP: stdlib-asyncio
+first, FastAPI only as an optional sugar layer), so this module
+implements exactly the slice of HTTP the endpoints need: request-line +
+header parsing, ``Content-Length`` bodies, JSON responses, and
+Server-Sent Events responses that stream until the handler finishes
+and then close the connection (an EOF-terminated body is valid
+HTTP/1.1 with ``Connection: close``, and it is what ``curl`` and every
+SSE client expects from a finite stream).
+
+No keep-alive, no chunked encoding, no TLS: one request per
+connection keeps the server trivially correct, and the payloads here
+(a few-KB manifest, a trace line every poll) make per-request
+connection cost irrelevant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Reject absurd request heads/bodies outright (the server sits on
+#: localhost, but a run config is a few hundred bytes, not megabytes).
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+
+
+class BadRequest(Exception):
+    """Malformed HTTP or an invalid payload; becomes a 400."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises :class:`BadRequest`)."""
+        if not self.body:
+            raise BadRequest("expected a JSON body")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {key: values[-1]
+             for key, values in parse_qs(split.query).items()}
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest("bad Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest("bad Content-Length")
+        body = await reader.readexactly(length)
+    return Request(method=method.upper(), path=unquote(split.path),
+                   query=query, headers=headers, body=body)
+
+
+def json_response(status: int, payload: object) -> bytes:
+    """A complete JSON response (headers + body), ready to write."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
+        .encode("utf-8")
+    head = (f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def error_response(status: int, message: str) -> bytes:
+    """A JSON error body: ``{"error": ..., "status": ...}``."""
+    return json_response(status, {"error": message, "status": status})
+
+
+def sse_headers() -> bytes:
+    """Response head opening an SSE stream (body ends at EOF)."""
+    return (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream; charset=utf-8\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n")
+
+
+def sse_frame(event: str, data: str) -> bytes:
+    """One SSE frame. ``data`` must be newline-free (JSONL lines are)."""
+    return f"event: {event}\ndata: {data}\n\n".encode("utf-8")

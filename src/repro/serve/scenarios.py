@@ -1,0 +1,39 @@
+"""The scenario library: what the server can run.
+
+``GET /scenarios`` exposes the full runnable cross product —
+:data:`repro.workloads.WORKLOADS` × monitoring schemes ×
+:data:`repro.lifeguards.LIFEGUARDS` — so a client can enumerate valid
+``POST /runs`` payloads without guessing, the way SimCash's scenario
+library fronts its simulation API. Each entry is a ready-to-submit
+run config (workload, scheme, lifeguard, plus the defaults a bare
+submission would get), annotated with whether the workload belongs to
+the paper's Table 1 suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lifeguards import LIFEGUARDS
+from repro.workloads import PAPER_BENCHMARKS, WORKLOADS
+
+#: Monitoring schemes accepted by ``POST /runs`` — the same vocabulary
+#: as ``python -m repro run --scheme``. ``none`` runs unmonitored (no
+#: lifeguard), so the library pairs it with ``lifeguard: null`` only.
+SCHEMES = ("parallel", "timesliced", "none")
+
+
+def scenario_library() -> List[Dict[str, object]]:
+    """Every runnable workload × scheme × lifeguard combination."""
+    scenarios: List[Dict[str, object]] = []
+    for workload in sorted(WORKLOADS):
+        for scheme in SCHEMES:
+            lifeguards = [None] if scheme == "none" else sorted(LIFEGUARDS)
+            for lifeguard in lifeguards:
+                scenarios.append({
+                    "workload": workload,
+                    "scheme": scheme,
+                    "lifeguard": lifeguard,
+                    "paper_suite": workload in PAPER_BENCHMARKS,
+                })
+    return scenarios

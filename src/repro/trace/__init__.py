@@ -7,6 +7,7 @@ assert the paper's soundness claim (identical lifeguard verdicts,
 equivalent serialized metadata-update orders) as an executable oracle.
 """
 
+from repro.trace.tail import TraceTail
 from repro.trace.writer import (
     CATEGORIES,
     DEFAULT_RING_EVENTS,
@@ -21,6 +22,7 @@ from repro.trace.writer import (
 __all__ = [
     "CATEGORIES",
     "DEFAULT_RING_EVENTS",
+    "TraceTail",
     "TraceWriter",
     "encode_event",
     "parse_trace_filter",

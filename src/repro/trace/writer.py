@@ -38,6 +38,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import warnings
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
@@ -140,9 +141,17 @@ class TraceWriter:
     @classmethod
     def to_path(cls, path: str, *, categories=None, ring: int = 0,
                 keep: bool = False) -> "TraceWriter":
-        """Open ``path`` for writing and stream events into it."""
-        writer = cls(stream=open(path, "w"), categories=categories,
-                     ring=ring, keep=keep)
+        """Open ``path`` for writing and stream events into it.
+
+        The constructor runs (and validates its arguments) *before* the
+        file is opened, so a bad category or ring size never leaks an
+        open handle or leaves a stray empty trace file behind. The file
+        is always UTF-8, regardless of platform locale, so a trace
+        written on one machine and served from another is byte-identical.
+        """
+        writer = cls(stream=None, categories=categories, ring=ring,
+                     keep=keep)
+        writer._stream = open(path, "w", encoding="utf-8")
         writer._owns_stream = True
         return writer
 
@@ -215,7 +224,12 @@ def validate_event(payload: dict) -> None:
     for required in ("cycle", "cat", "event"):
         if required not in payload:
             raise ValueError(f"event missing {required!r}: {payload!r}")
-    if not isinstance(payload["cycle"], int) or payload["cycle"] < 0:
+    # bool is an int subclass, but cycle=True must not validate: it
+    # encodes as "true" where an equal run stamps 1, poisoning
+    # trace_hash comparisons with a schema-invalid event.
+    if (isinstance(payload["cycle"], bool)
+            or not isinstance(payload["cycle"], int)
+            or payload["cycle"] < 0):
         raise ValueError(f"bad cycle stamp: {payload!r}")
     if payload["cat"] not in _CATEGORY_SET:
         raise ValueError(f"unknown category {payload['cat']!r}: {payload!r}")
@@ -252,18 +266,45 @@ def trace_hash(events: Iterable[dict]) -> str:
     return digest.hexdigest()
 
 
-def read_trace(path: str) -> List[dict]:
-    """Load a JSONL trace file (validating every line)."""
+def read_trace(path: str, *, tolerant_tail: bool = False) -> List[dict]:
+    """Load a JSONL trace file (validating every line).
+
+    ``tolerant_tail=False`` (the default, for completed traces) raises
+    ``ValueError`` on any malformed line. ``tolerant_tail=True`` is for
+    readers following a *live* ``stream``-mode trace: the writer flushes
+    after every line, but a reader can still observe a torn final line —
+    a partially flushed write, or a line cut short by a killed worker.
+    Matching :func:`repro.jobs.checkpoint.load_checkpoint`'s torn-tail
+    handling, such a final line is skipped, counted and warned about
+    (``UserWarning``) instead of crashing the reader; a malformed line
+    anywhere *before* the tail is corruption either way and still raises.
+    """
     events = []
-    with open(path) as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    last_lineno = len(lines)
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerant_tail and lineno == last_lineno:
+                warnings.warn(
+                    f"{path}:{lineno}: skipped torn final trace line "
+                    f"(live stream mid-write?)", UserWarning, stacklevel=2)
+                break
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        try:
             validate_event(payload)
-            events.append(payload)
+        except ValueError:
+            if tolerant_tail and lineno == last_lineno:
+                warnings.warn(
+                    f"{path}:{lineno}: skipped schema-invalid final trace "
+                    f"line (live stream mid-write?)", UserWarning,
+                    stacklevel=2)
+                break
+            raise
+        events.append(payload)
     return events

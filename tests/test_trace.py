@@ -217,3 +217,108 @@ class TestCliTraceFlag:
                      "--trace-filter", "bogus"])
         assert code == 2
         assert "bogus" in capsys.readouterr().err
+
+
+class TestTornTailReads:
+    """Regression: a reader following a live stream-mode trace used to
+    crash with ValueError on a partially flushed final line."""
+
+    def _write(self, tmp_path, lines, torn=None):
+        path = tmp_path / "live.jsonl"
+        body = "".join(encode_event(line) + "\n" for line in lines)
+        if torn is not None:
+            body += torn  # no trailing newline: a write in flight
+        path.write_text(body, encoding="utf-8")
+        return str(path)
+
+    def test_strict_mode_still_raises_on_torn_tail(self, tmp_path):
+        path = self._write(tmp_path,
+                           [{"cycle": 1, "cat": "engine", "event": "stall"}],
+                           torn='{"cycle":2,"cat":"eng')
+        with pytest.raises(ValueError, match="not JSON"):
+            read_trace(path)
+
+    def test_tolerant_tail_skips_counts_and_warns(self, tmp_path):
+        complete = [{"cycle": 1, "cat": "engine", "event": "stall"},
+                    {"cycle": 2, "cat": "ca", "event": "broadcast"}]
+        path = self._write(tmp_path, complete,
+                           torn='{"cycle":3,"cat":"eng')
+        with pytest.warns(UserWarning, match="torn final trace line"):
+            events = read_trace(path, tolerant_tail=True)
+        assert events == complete
+
+    def test_tolerant_tail_skips_schema_invalid_tail(self, tmp_path):
+        # A torn write can also yield valid JSON that is not a valid
+        # event (e.g. the line cut right after a closing brace of a
+        # nested value); tolerant mode must skip that too.
+        complete = [{"cycle": 1, "cat": "engine", "event": "stall"}]
+        path = self._write(tmp_path, complete, torn='{"cycle":3}')
+        with pytest.warns(UserWarning, match="schema-invalid final"):
+            assert read_trace(path, tolerant_tail=True) == complete
+
+    def test_tolerant_mode_still_raises_on_interior_corruption(
+            self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        good = encode_event({"cycle": 1, "cat": "engine", "event": "x"})
+        path.write_text(f"{good}\nnot json at all\n{good}\n",
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="not JSON"):
+            read_trace(str(path), tolerant_tail=True)
+
+    def test_complete_trace_reads_identically_in_both_modes(self, tmp_path):
+        complete = [{"cycle": 1, "cat": "engine", "event": "stall"}]
+        path = self._write(tmp_path, complete)
+        assert (read_trace(path) == read_trace(path, tolerant_tail=True)
+                == complete)
+
+
+class TestToPathHandleLeak:
+    """Regression: ``to_path`` opened the file before the constructor
+    validated its arguments, leaking the handle (and a stray empty
+    file) when validation raised."""
+
+    def test_bad_category_leaves_no_file_behind(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with pytest.raises(ConfigurationError):
+            TraceWriter.to_path(str(path), categories=("bogus",))
+        assert not path.exists()
+
+    def test_negative_ring_leaves_no_file_behind(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with pytest.raises(ConfigurationError):
+            TraceWriter.to_path(str(path), ring=-1)
+        assert not path.exists()
+
+    def test_traces_are_utf8_regardless_of_locale(self, tmp_path):
+        path = tmp_path / "utf8.jsonl"
+        tracer = TraceWriter.to_path(str(path))
+        tracer.emit("engine", "note", detail="café → ✓")
+        tracer.close()
+        raw = path.read_bytes()
+        # The escaped-or-raw representation is json's choice, but the
+        # bytes must decode as UTF-8 whatever the platform locale says.
+        assert json.loads(raw.decode("utf-8"))["detail"] == "café → ✓"
+        events = read_trace(str(path))
+        assert events[0]["detail"] == "café → ✓"
+
+
+class TestBoolCycleStamp:
+    """Regression: ``cycle=True`` passed validation (bool is an int
+    subclass) but encodes as ``true`` where an equal run stamps ``1``,
+    silently poisoning trace hashes."""
+
+    def test_bool_cycle_rejected(self):
+        with pytest.raises(ValueError, match="bad cycle stamp"):
+            validate_event({"cycle": True, "cat": "engine", "event": "x"})
+        with pytest.raises(ValueError, match="bad cycle stamp"):
+            validate_event({"cycle": False, "cat": "engine", "event": "x"})
+
+    def test_int_cycle_still_accepted(self):
+        validate_event({"cycle": 0, "cat": "engine", "event": "x"})
+        validate_event({"cycle": 1, "cat": "engine", "event": "x"})
+
+    def test_bool_fields_elsewhere_stay_legal(self):
+        # Only the cycle stamp is numeric-only; ordinary fields may
+        # legitimately carry booleans.
+        validate_event({"cycle": 1, "cat": "engine", "event": "x",
+                        "resumed": True})
