@@ -169,9 +169,28 @@ class AppCore(CoreActor):
             return thread_exit()
 
     # -- the state machine ----------------------------------------------------------
+    #
+    # The steady-state instruction loop — commit the previous record,
+    # fetch the next op, execute it — used to take three step() calls
+    # chained by zero-delay transitions; only EXECUTE's latency is a real
+    # delay. The phases are fused into one fall-through step and
+    # ``_phase`` survives as the re-entry point after a blocking return
+    # (COMMIT resumes at the flush after a log-full wake, FETCH at the
+    # fence/containment gates, EXECUTE at the TSO pre-stalls).
 
     def step(self):
-        if self._phase == _FETCH:
+        phase = self._phase
+        if phase == _COMMIT:
+            if not self.capture.flush():
+                return ("wait", self.log.not_full, "wait_log", "log full")
+            if self._exiting:
+                self._phase = _FINISH
+                return self._finish_step()
+            self._phase = phase = _FETCH
+        elif phase == _FINISH:
+            return self._finish_step()
+
+        if phase == _FETCH:
             fence_wait = self._ca_fence_gate()
             if fence_wait is not None:
                 return fence_wait
@@ -184,37 +203,27 @@ class AppCore(CoreActor):
             self._op = self._next_op()
             self._result = None
             self._phase = _EXECUTE
-            return ("delay", 0, "execute")
 
-        if self._phase == _EXECUTE:
-            stall = self._tso_pre_stall()
-            if stall is not None:
-                return stall
-            latency = self._execute()
-            self.instructions_retired += 1
-            self.engine.note_retire()
-            self._phase = _COMMIT
-            return ("delay", latency, "execute")
+        stall = self._tso_pre_stall()
+        if stall is not None:
+            return stall
+        latency = self._execute()
+        self.instructions_retired += 1
+        self.engine.note_retire()
+        self._phase = _COMMIT
+        return ("delay", latency, "execute")
 
-        if self._phase == _COMMIT:
-            if self.capture.flush():
-                self._phase = _FINISH if self._exiting else _FETCH
-                return ("delay", 0, "execute")
-            return ("wait", self.log.not_full, "wait_log", "log full")
-
-        if self._phase == _FINISH:
-            if self.store_buffer is not None:
-                self.store_buffer.close()
-                if not self.store_buffer.empty:
-                    return ("wait", self.store_buffer.empty_cond,
-                            "wait_log", "draining store buffer")
-            if not self.capture.flush():
-                return ("wait", self.log.not_full, "wait_log", "final flush")
-            if self.log is not None:
-                self.log.close()
-            return ("done",)
-
-        raise SimulationError(f"{self.name}: bad phase {self._phase}")
+    def _finish_step(self):
+        if self.store_buffer is not None:
+            self.store_buffer.close()
+            if not self.store_buffer.empty:
+                return ("wait", self.store_buffer.empty_cond,
+                        "wait_log", "draining store buffer")
+        if not self.capture.flush():
+            return ("wait", self.log.not_full, "wait_log", "final flush")
+        if self.log is not None:
+            self.log.close()
+        return ("done",)
 
     # -- TSO pre-execution stalls -----------------------------------------------------
 
@@ -486,12 +495,23 @@ class TimeslicedAppCore(CoreActor):
     # -- state machine ----------------------------------------------------------------
 
     def step(self):
-        if self._phase == _FETCH:
+        # Fused like AppCore.step: the zero-delay COMMIT → FETCH →
+        # EXECUTE chain runs in one call; a context switch's nonzero
+        # cost still returns a real delay (re-entering at EXECUTE).
+        phase = self._phase
+        if phase == _COMMIT:
+            if not self.captures[self._current].flush():
+                return ("wait", self.log.not_full, "wait_log", "log full")
+            self._phase = phase = _FETCH
+        elif phase == _FINISH:
+            return self._finish_step()
+
+        if phase == _FETCH:
             tid, info = self._pick_thread()
             if tid is None:
                 if info is None:
                     self._phase = _FINISH
-                    return ("delay", 0, "execute")
+                    return self._finish_step()
                 table = self.hooks.progress_table
                 return ("wait", table.condition(info),
                         "wait_containment", f"t{info} containment")
@@ -505,30 +525,22 @@ class TimeslicedAppCore(CoreActor):
             self._op = self._next_op(tid)
             self._threads[tid]["result"] = None
             self._phase = _EXECUTE
-            return ("delay", switch_cost, "execute")
+            if switch_cost:
+                return ("delay", switch_cost, "execute")
 
-        if self._phase == _EXECUTE:
-            latency = self._execute(self._current)
-            self.instructions_retired += 1
-            self.engine.note_retire()
-            self._slice_used += 1
-            self._phase = _COMMIT
-            return ("delay", latency, "execute")
+        latency = self._execute(self._current)
+        self.instructions_retired += 1
+        self.engine.note_retire()
+        self._slice_used += 1
+        self._phase = _COMMIT
+        return ("delay", latency, "execute")
 
-        if self._phase == _COMMIT:
-            if self.captures[self._current].flush():
-                self._phase = _FETCH
-                return ("delay", 0, "execute")
-            return ("wait", self.log.not_full, "wait_log", "log full")
-
-        if self._phase == _FINISH:
-            if any(not capture.flush() for capture in self.captures.values()):
-                return ("wait", self.log.not_full, "wait_log", "final flush")
-            if self.log is not None:
-                self.log.close()
-            return ("done",)
-
-        raise SimulationError(f"{self.name}: bad phase {self._phase}")
+    def _finish_step(self):
+        if any(not capture.flush() for capture in self.captures.values()):
+            return ("wait", self.log.not_full, "wait_log", "final flush")
+        if self.log is not None:
+            self.log.close()
+        return ("done",)
 
     def _execute(self, tid: int) -> int:
         op = self._op

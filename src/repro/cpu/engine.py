@@ -14,22 +14,40 @@ may be spurious — a woken actor re-evaluates its state in ``step()`` and
 may wait again — so conditions only need to notify on *potential* state
 changes.
 
-Determinism: the heap breaks ties by insertion sequence number, so two
-runs of the same configuration produce identical schedules.
+Scheduler: a **calendar queue** (cycle-bucket ring). Near-future events
+(``delay < _RING_SIZE``) are appended to a ring of per-cycle deques —
+one ``append`` of the bare callback, no entry tuple, no comparison —
+and far-future events go to a small overflow heap keyed ``(cycle,
+seq)``, promoted into the ring as time advances. Callbacks are never
+compared: FIFO order within a cycle bucket reproduces the old global
+heap's ``(cycle, seq)`` total order bit-for-bit, so schedules (and
+therefore traces, verdicts and fingerprints) are unchanged.
+
+Ring invariant: every ring entry's cycle lies in ``[now, now + _RING_SIZE)``
+— each slot therefore holds exactly one cycle's events. Overflow entries
+always lie at or beyond ``now + _RING_SIZE``; promotion runs on every
+advance of ``now``, *before* any callback at the new time executes, so a
+promoted (earlier-scheduled) callback always lands in its slot ahead of
+any same-cycle callback scheduled later.
+
+Setting ``REPRO_HEAP_SCHEDULER=1`` in the environment (read at
+``Engine()`` construction) selects the legacy ``heapq`` scheduler,
+retained for one release so CI can diff the two implementations'
+trace hashes; it will be removed once the calendar queue has soaked.
 
 Backends: the default ``event`` backend schedules every nonzero delay
-through the time heap. The ``batched`` backend lets an actor *advance
+through the queue. The ``batched`` backend lets an actor *advance
 time inline* (:meth:`Engine.try_advance`) when no other event could
-possibly interleave — the heap's earliest entry lies strictly after the
-actor's target time — so a core executes straight-line instruction runs
-without a heappush/heappop round-trip per step. Because the advance is
+possibly interleave — the earliest pending event lies strictly after
+the actor's target time — so a core executes straight-line instruction
+runs without a queue round-trip per step. Because the advance is
 refused whenever any event at or before the target exists, every
 observable interleaving (and therefore every trace, verdict and
 fingerprint) is identical between the two backends; only
-:attr:`Engine.events_popped` (fewer heap services) and
+:attr:`Engine.events_popped` (fewer queue services) and
 :attr:`Engine.batch_advances` differ.
 
-Failure diagnosis: a drained heap with blocked actors is a classic
+Failure diagnosis: a drained queue with blocked actors is a classic
 deadlock; an optional :class:`Watchdog` additionally detects *livelock*
 (events keep firing but no actor retires a record for a whole cycle
 window). Both paths build a wait-for graph over actors and
@@ -41,10 +59,22 @@ with progress-table and log-buffer snapshots.
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import DeadlockError, SimulationError, SimulationTimeout
 from repro.common.stats import TimeBuckets
+
+#: Calendar-queue ring size (slots = cycles of look-ahead). Power of two
+#: so slot indexing is a mask, sized to cover every latency the memory
+#: system or cost model produces; longer delays take the overflow heap.
+_RING_SIZE = 1024
+_RING_MASK = _RING_SIZE - 1
+
+#: Environment variable selecting the legacy heapq scheduler (read at
+#: Engine construction, so tests can monkeypatch it per-engine).
+HEAP_SCHEDULER_ENV = "REPRO_HEAP_SCHEDULER"
 
 
 class Watchdog:
@@ -53,8 +83,8 @@ class Watchdog:
     ``window`` is the number of simulated cycles the engine will tolerate
     without any actor calling :meth:`Engine.note_retire` while unfinished
     actors remain. A window of 0 disables the check (equivalent to not
-    attaching a watchdog). Spin-polling consumers keep the event heap
-    non-empty forever, so heap-drain deadlock detection alone cannot see
+    attaching a watchdog). Spin-polling consumers keep the event queue
+    non-empty forever, so queue-drain deadlock detection alone cannot see
     this failure mode — the watchdog can.
     """
 
@@ -72,7 +102,12 @@ BACKENDS = ("event", "batched")
 
 
 class Engine:
-    """Time heap + actor lifecycle tracking."""
+    """Calendar-queue event scheduler + actor lifecycle tracking."""
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Engine and os.environ.get(HEAP_SCHEDULER_ENV) == "1":
+            cls = _HeapEngine
+        return object.__new__(cls)
 
     def __init__(self, watchdog: Optional[Watchdog] = None, tracer=None,
                  backend: str = "event"):
@@ -80,8 +115,7 @@ class Engine:
             raise SimulationError(
                 f"unknown engine backend {backend!r}; expected one of {BACKENDS}")
         self.now = 0
-        self._heap: List = []
-        self._seq = 0
+        self._init_scheduler()
         self._actors: List["CoreActor"] = []
         #: Registered actors that have not finished yet. Maintained by
         #: :meth:`register` and :meth:`note_finish` so the watchdog's
@@ -93,10 +127,10 @@ class Engine:
         #: Execution backend; ``batched`` enables :meth:`try_advance`.
         self.backend = backend
         self.batched = backend == "batched"
-        #: Total events popped off the time heap (perf-harness metric).
+        #: Total events popped off the time queue (perf-harness metric).
         self.events_popped = 0
         #: Delays committed inline by the batched backend instead of
-        #: through the heap (perf-harness metric; 0 under ``event``).
+        #: through the queue (perf-harness metric; 0 under ``event``).
         self.batch_advances = 0
         # Budget/watchdog state mirrored for try_advance while run() is
         # active (the inline path must honour both exactly).
@@ -116,6 +150,26 @@ class Engine:
         #: (``last_retired`` / ``progress`` / ``log_occupancy`` /
         #: ``injected``) merged into a raised :class:`DeadlockError`.
         self.diagnostics_provider: Optional[Callable[[], dict]] = None
+
+    def _init_scheduler(self) -> None:
+        # Ring slots start as None and get a deque on first use; once
+        # created, a slot's deque is reused for the life of the engine
+        # (the ring wraps), so the steady-state event path never
+        # allocates an entry object — the callback itself is the entry.
+        self._ring: List[Optional[deque]] = [None] * _RING_SIZE
+        self._ring_count = 0
+        #: Lower bound on the earliest pending ring event's cycle; lets
+        #: empty-slot scans resume where the last one stopped instead of
+        #: rescanning from ``now`` (critical for ``try_advance``, which
+        #: probes ahead on every batched delay).
+        self._floor = 0
+        self._overflow: List = []
+        self._seq = 0
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-not-yet-executed events."""
+        return self._ring_count + len(self._overflow)
 
     def register(self, actor: "CoreActor") -> None:
         self._actors.append(actor)
@@ -137,8 +191,21 @@ class Engine:
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
-        self._seq += 1
+        if delay < _RING_SIZE:
+            cycle = self.now + delay
+            ring = self._ring
+            index = cycle & _RING_MASK
+            slot = ring[index]
+            if slot is None:
+                slot = ring[index] = deque()
+            slot.append(callback)
+            self._ring_count += 1
+            if cycle < self._floor:
+                self._floor = cycle
+        else:
+            self._seq += 1
+            heapq.heappush(self._overflow,
+                           (self.now + delay, self._seq, callback))
 
     def note_retire(self) -> None:
         """Actors call this when they retire an instruction or record.
@@ -152,75 +219,150 @@ class Engine:
     def try_advance(self, cycles: int) -> bool:
         """Batched backend: commit a delay inline when nothing interleaves.
 
-        Returns True (and advances :attr:`now`) only when no pending heap
+        Returns True (and advances :attr:`now`) only when no pending
         event fires at or before the target time — strictly after, because
-        an equal-time heap entry carries a smaller sequence number and must
-        run first. Refuses (falling back to the heap) when the advance
-        would cross ``max_cycles`` (so :class:`SimulationTimeout` fires
-        with identical pending-event state) or when the watchdog's
-        livelock condition already holds at the *current* time (matching
-        the event backend's post-callback check exactly).
+        an equal-time event was scheduled earlier and must run first.
+        Refuses (falling back to the queue) when the advance would cross
+        ``max_cycles`` (so :class:`SimulationTimeout` fires with identical
+        pending-event state) or when the watchdog's livelock condition
+        already holds at the *current* time (matching the event backend's
+        post-callback check exactly).
         """
-        target = self.now + cycles
-        heap = self._heap
-        if heap and heap[0][0] <= target:
+        now = self.now
+        target = now + cycles
+        overflow = self._overflow
+        if overflow and overflow[0][0] <= target:
             return False
         max_cycles = self._run_max_cycles
         if max_cycles is not None and target > max_cycles:
             return False
         window = self._run_window
-        if (window and self.now - self.last_retire > window
+        if (window and now - self.last_retire > window
                 and self._unfinished):
             return False
+        if self._ring_count:
+            floor = self._floor
+            if floor <= target:
+                # Scan the slots covering [max(now, floor), target] (the
+                # ring invariant bounds this to one slot per cycle; the
+                # floor invariant clears everything before it). With
+                # pending ring events and target at/past the ring
+                # horizon, the full-window scan necessarily finds one
+                # and refuses. Either way the floor advances, so the
+                # next probe resumes where this one stopped.
+                ring = self._ring
+                last = min(target, now + _RING_MASK)
+                t = floor if floor > now else now
+                while t <= last:
+                    if ring[t & _RING_MASK]:
+                        self._floor = t
+                        return False
+                    t += 1
+                self._floor = last + 1
         self.now = target
+        if overflow and overflow[0][0] < target + _RING_SIZE:
+            self._promote(target)
         self.batch_advances += 1
         return True
+
+    def _promote(self, now: int) -> None:
+        """Move overflow events that entered the ring horizon into slots."""
+        overflow = self._overflow
+        ring = self._ring
+        horizon = now + _RING_SIZE
+        heappop = heapq.heappop
+        if overflow[0][0] < self._floor:
+            self._floor = overflow[0][0]
+        while overflow and overflow[0][0] < horizon:
+            entry = heappop(overflow)
+            index = entry[0] & _RING_MASK
+            slot = ring[index]
+            if slot is None:
+                slot = ring[index] = deque()
+            slot.append(entry[2])
+            self._ring_count += 1
 
     def run(self, max_cycles: Optional[int] = None) -> int:
         """Run until all actors finish; returns the final time.
 
-        Raises :class:`DeadlockError` if the event heap drains while
+        Raises :class:`DeadlockError` if the event queue drains while
         actors are still blocked — in this codebase that always means an
         ordering mechanism (arcs, CA barriers, versioning) is broken —
         or, with a :class:`Watchdog` attached, when no actor retires for
         a whole watchdog window. Raises :class:`SimulationTimeout` when
         ``max_cycles`` is exceeded; the event that tripped the budget
-        stays on the heap (``pending_events`` counts it) and its time is
+        stays queued (``pending_events`` counts it) and its time is
         committed to :attr:`now`, so a later ``run()`` call with a
         larger (or no) budget resumes by executing that event first —
-        the crash report and a resumed run see the same heap.
+        the crash report and a resumed run see the same queue.
         """
         watchdog = self.watchdog
         window = watchdog.window if watchdog is not None else 0
-        heap = self._heap
-        heappop = heapq.heappop
+        ring = self._ring
+        mask = _RING_MASK
+        overflow = self._overflow
         popped = 0
         self._run_max_cycles = max_cycles
         self._run_window = window
         try:
-            while heap:
-                time = heap[0][0]
-                if max_cycles is not None and time > max_cycles:
-                    self.now = time
-                    raise SimulationTimeout(
-                        f"simulation exceeded max_cycles={max_cycles} "
-                        f"at cycle {time} with {len(heap)} pending events",
-                        cycle=time, pending_events=len(heap),
-                    )
-                entry = heappop(heap)
-                self.now = time
-                popped += 1
-                entry[2]()
-                # `self.now`, not `time`: a batched-backend callback may
-                # have advanced time inline past the popped entry.
-                if (window and self.now - self.last_retire > window
-                        and self._unfinished):
-                    raise self._diagnose(
-                        f"livelock: no actor retired anything for "
-                        f"{self.now - self.last_retire} cycles (window="
-                        f"{window}) while events kept firing",
-                        kind="livelock",
-                    )
+            # Entry check: a resumed run whose budget is still exceeded
+            # must re-trip on the already-committed tripping cycle before
+            # executing anything (the mid-run path below only checks the
+            # budget when time advances).
+            if (max_cycles is not None and self.now > max_cycles
+                    and ring[self.now & mask]):
+                pending = self._ring_count + len(overflow)
+                raise SimulationTimeout(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"at cycle {self.now} with {pending} pending events",
+                    cycle=self.now, pending_events=pending)
+            while self._ring_count or overflow:
+                now = self.now
+                slot = ring[now & mask]
+                if not slot:
+                    # Advance to the next pending cycle: scan the ring if
+                    # it holds anything (bounded by the ring size, and
+                    # amortised over the cycles actually simulated), else
+                    # fast-forward straight to the overflow head.
+                    if self._ring_count:
+                        t = self._floor
+                        if t <= now:
+                            t = now + 1
+                        while not ring[t & mask]:
+                            t += 1
+                        self._floor = t
+                    else:
+                        t = overflow[0][0]
+                    if overflow and overflow[0][0] < t + _RING_SIZE:
+                        self._promote(t)
+                    if max_cycles is not None and t > max_cycles:
+                        self.now = t
+                        pending = self._ring_count + len(overflow)
+                        raise SimulationTimeout(
+                            f"simulation exceeded max_cycles={max_cycles} "
+                            f"at cycle {t} with {pending} pending events",
+                            cycle=t, pending_events=pending)
+                    self.now = now = t
+                    slot = ring[now & mask]
+                while slot:
+                    callback = slot.popleft()
+                    self._ring_count -= 1
+                    popped += 1
+                    callback()
+                    # `self.now`, not `now`: a batched-backend callback
+                    # may have advanced time inline past this slot.
+                    if (window and self.now - self.last_retire > window
+                            and self._unfinished):
+                        raise self._diagnose(
+                            f"livelock: no actor retired anything for "
+                            f"{self.now - self.last_retire} cycles (window="
+                            f"{window}) while events kept firing",
+                            kind="livelock",
+                        )
+                    if self.now != now:
+                        # Inline advance moved time: this slot's index now
+                        # maps to a future cycle — resume from the top.
+                        break
         finally:
             self.events_popped += popped
             self._run_max_cycles = None
@@ -275,6 +417,84 @@ class Engine:
             injected=extra.get("injected"),
             trace_tail=trace_tail,
         )
+
+
+class _HeapEngine(Engine):
+    """Legacy global-heap scheduler (pre-calendar-queue), kept one
+    release behind ``REPRO_HEAP_SCHEDULER=1`` so CI can diff the two
+    implementations' schedules byte-for-byte. Do not use it for new
+    work; it exists purely as an equivalence oracle.
+    """
+
+    def _init_scheduler(self) -> None:
+        self._heap: List = []
+        self._seq = 0
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def try_advance(self, cycles: int) -> bool:
+        target = self.now + cycles
+        heap = self._heap
+        if heap and heap[0][0] <= target:
+            return False
+        max_cycles = self._run_max_cycles
+        if max_cycles is not None and target > max_cycles:
+            return False
+        window = self._run_window
+        if (window and self.now - self.last_retire > window
+                and self._unfinished):
+            return False
+        self.now = target
+        self.batch_advances += 1
+        return True
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        watchdog = self.watchdog
+        window = watchdog.window if watchdog is not None else 0
+        heap = self._heap
+        heappop = heapq.heappop
+        popped = 0
+        self._run_max_cycles = max_cycles
+        self._run_window = window
+        try:
+            while heap:
+                time = heap[0][0]
+                if max_cycles is not None and time > max_cycles:
+                    self.now = time
+                    raise SimulationTimeout(
+                        f"simulation exceeded max_cycles={max_cycles} "
+                        f"at cycle {time} with {len(heap)} pending events",
+                        cycle=time, pending_events=len(heap),
+                    )
+                entry = heappop(heap)
+                self.now = time
+                popped += 1
+                entry[2]()
+                if (window and self.now - self.last_retire > window
+                        and self._unfinished):
+                    raise self._diagnose(
+                        f"livelock: no actor retired anything for "
+                        f"{self.now - self.last_retire} cycles (window="
+                        f"{window}) while events kept firing",
+                        kind="livelock",
+                    )
+        finally:
+            self.events_popped += popped
+            self._run_max_cycles = None
+            self._run_window = 0
+        blocked = [a for a in self._actors if not a.finished]
+        if blocked:
+            raise self._diagnose(
+                "simulation deadlocked with blocked actors", kind="deadlock")
+        return self.now
 
 
 def find_cycle(graph: Dict[str, List[str]]) -> Optional[List[str]]:
@@ -377,6 +597,12 @@ class CoreActor:
         self.wait_condition: Optional[Condition] = None
         self._wait_started: Optional[int] = None
         self._wait_bucket: Optional[str] = None
+        # Pre-bind the hot callbacks: every plain `self._run` / `self.wake`
+        # attribute access on a class method allocates a fresh bound
+        # method, which the old code paid once per scheduled event. The
+        # instance-dict copies below are created once and reused.
+        self._run = self._run
+        self.wake = self.wake
         engine.register(self)
 
     # -- subclass contract ---------------------------------------------------
@@ -422,28 +648,36 @@ class CoreActor:
             self.wait_condition = None
 
     def _run(self) -> None:
+        # Hot trampoline: locals for everything touched per step. `step`
+        # and `_run` come from the instance dict (pre-bound in __init__),
+        # so no bound-method allocation happens on this path.
+        engine = self.engine
+        step = self.step
+        charge = self.buckets.charge
+        batched = engine.batched
+        schedule = engine.schedule
+        run = self._run
         while True:
-            action = self.step()
+            action = step()
             kind = action[0]
             if kind == "delay":
-                _, cycles, bucket = action
+                cycles = action[1]
                 if cycles:
-                    self.buckets.charge(bucket, cycles)
-                    engine = self.engine
-                    if not (engine.batched and engine.try_advance(cycles)):
-                        engine.schedule(cycles, self._run)
+                    charge(action[2], cycles)
+                    if not (batched and engine.try_advance(cycles)):
+                        schedule(cycles, run)
                         return
                     # Batched backend: time committed inline — keep
-                    # stepping without a heap round-trip.
+                    # stepping without a queue round-trip.
                 # Zero-cost transition: keep stepping inline.
             elif kind == "wait":
                 _, condition, bucket, reason = action
-                self._wait_started = self.engine.now
+                self._wait_started = engine.now
                 self._wait_bucket = bucket
                 self.wait_reason = f"{reason} ({condition.name})"
                 self.wait_condition = condition
                 condition.add_waiter(self)
-                tracer = self.engine.tracer
+                tracer = engine.tracer
                 if tracer is not None:
                     tracer.emit("engine", "stall", actor=self.name,
                                 cond=condition.name, why=reason,
@@ -452,9 +686,9 @@ class CoreActor:
             elif kind == "done":
                 self._purge_wait()
                 self.finished = True
-                self.finish_time = self.engine.now
-                self.engine.note_finish(self)
-                tracer = self.engine.tracer
+                self.finish_time = engine.now
+                engine.note_finish(self)
+                tracer = engine.tracer
                 if tracer is not None:
                     tracer.emit("engine", "done", actor=self.name)
                 self.on_finish()

@@ -61,6 +61,11 @@ class LifeguardCore(CoreActor):
         self.config = config
         self.costs = config.lifeguard_costs
         self._l1_latency = config.l1_config.access_latency
+        # Hot-path hoists: chased once here instead of per record.
+        self._arc_record_cost = self.costs.arc_record_cost
+        self._dispatch_cost = self.costs.dispatch_cost
+        self._advert_threshold = config.delayed_advertising_threshold
+        self._batched = engine.batched
         self.progress_table = progress_table
         self.ca_hub = ca_hub
         self.version_store = version_store
@@ -112,26 +117,38 @@ class LifeguardCore(CoreActor):
         self._stall_started = None
 
     # -- the state machine -----------------------------------------------------------
+    #
+    # The happy path — record available, order gates clear, no faults —
+    # used to take three step() calls per record (FETCH, ORDER, PROCESS)
+    # chained by zero-delay transitions. Those transitions are timing-
+    # invisible (the trampoline loops them inline without touching the
+    # event queue), so the phases are fused into one fall-through step;
+    # ``_phase`` survives purely as the re-entry point after a blocking
+    # return (ORDER resumes at the gate after a stall wake, PROCESS
+    # resumes past the gate after a fault-injected delay).
 
     def step(self):
-        if self._phase == _FETCH:
+        phase = self._phase
+        if phase == _FETCH:
             record = self.log.peek()
             if record is None:
                 if self.log.closed:
                     self._phase = _FINAL
-                    return ("delay", 0, "useful")
+                    return self._final_step()
                 cost = self._stall_flush()
                 if cost:
                     return ("delay", cost, "useful")
                 return ("wait", self.log.not_empty,
                         "wait_application", "log empty")
             self._rec = record
-            self._phase = _ORDER
-            return ("delay", 0, "useful")
+            phase = _ORDER
+        elif phase >= _FINAL:
+            return self._final_step()
 
-        if self._phase == _ORDER:
+        if phase == _ORDER:
             blocked = self._order_gate(self._rec)
             if blocked is not None:
+                self._phase = _ORDER
                 if blocked[0] == "wait" and self._stall_started is None:
                     self._stall_started = self.engine.now
                 return blocked
@@ -139,52 +156,50 @@ class LifeguardCore(CoreActor):
                 self.stall_durations.append(
                     self.engine.now - self._stall_started)
                 self._stall_started = None
-            self._phase = _PROCESS
-            return ("delay", 0, "useful")
 
-        if self._phase == _PROCESS:
-            if self.faults is not None:
-                fault = self.faults.fire(
-                    "lifeguard", tid=self.tid, name=self.name,
-                    context=f"{self.name} at t{self._rec.tid}#{self._rec.rid}")
-                if fault is not None:
-                    if fault.action == "kill":
-                        # The core dies mid-stream: no drain, no final
-                        # progress publish, no barrier arrivals — its
-                        # consumers and producers are on their own.
-                        self._killed = True
-                        return ("done",)
-                    return ("delay", max(1, fault.param or 10_000), "useful")
-            record = self.log.pop()
-            if record is not self._rec:
-                raise SimulationError(f"{self.name}: log head changed underfoot")
-            cycles = self._process_record(record)
-            if record.ca_issuer and self.ca_hub is not None:
-                self.ca_hub.mark_complete(record.ca_id)
-            self._ca_arrived = False
-            self._stall_flushed = False
-            self._processed[record.tid] = record.rid
-            self.records_processed += 1
-            self.last_retired = (record.tid, record.rid)
-            self.engine.note_retire()
-            if self.tracer is not None:
-                self.tracer.emit("engine", "retire", actor=self.name,
-                                 tid=record.tid, rid=record.rid,
-                                 kind=record.kind)
-            cycles += self._publish(record.tid)
-            self._phase = _FETCH
-            return ("delay", max(cycles, 1), "useful")
+        if self.faults is not None:
+            fault = self.faults.fire(
+                "lifeguard", tid=self.tid, name=self.name,
+                context=f"{self.name} at t{self._rec.tid}#{self._rec.rid}")
+            if fault is not None:
+                if fault.action == "kill":
+                    # The core dies mid-stream: no drain, no final
+                    # progress publish, no barrier arrivals — its
+                    # consumers and producers are on their own.
+                    self._killed = True
+                    return ("done",)
+                self._phase = _PROCESS
+                return ("delay", max(1, fault.param or 10_000), "useful")
+        record = self.log.pop()
+        if record is not self._rec:
+            raise SimulationError(f"{self.name}: log head changed underfoot")
+        cycles = self._process_record(record)
+        if record.ca_issuer and self.ca_hub is not None:
+            self.ca_hub.mark_complete(record.ca_id)
+        self._ca_arrived = False
+        self._stall_flushed = False
+        self._processed[record.tid] = record.rid
+        self.records_processed += 1
+        self.last_retired = (record.tid, record.rid)
+        self.engine.note_retire()
+        if self.tracer is not None:
+            self.tracer.emit("engine", "retire", actor=self.name,
+                             tid=record.tid, rid=record.rid,
+                             kind=record.kind)
+        cycles += self._publish(record.tid)
+        self._phase = _FETCH
+        return ("delay", max(cycles, 1), "useful")
 
-        if self._phase == _FINAL:
-            cost = self._drain_accelerators()
-            self._publish_accurate()
-            if self.ca_hub is not None and self.tid is not None:
-                self.ca_hub.lifeguard_exited(self.tid)
-            if cost:
-                self._phase = _FINAL + 1  # fall through to done next step
-                return ("delay", cost, "useful")
+    def _final_step(self):
+        if self._phase > _FINAL:
             return ("done",)
-
+        cost = self._drain_accelerators()
+        self._publish_accurate()
+        if self.ca_hub is not None and self.tid is not None:
+            self.ca_hub.lifeguard_exited(self.tid)
+        if cost:
+            self._phase = _FINAL + 1  # fall through to done next step
+            return ("delay", cost, "useful")
         return ("done",)
 
     # -- ordering gates ----------------------------------------------------------------
@@ -263,7 +278,7 @@ class LifeguardCore(CoreActor):
     # -- record processing ------------------------------------------------------------------
 
     def _process_record(self, record: Record) -> int:
-        cost = self.costs.arc_record_cost * (1 + len(record.arcs or ()))
+        cost = self._arc_record_cost * (1 + len(record.arcs or ()))
         latency = 0
 
         if record.produce_versions and self.version_store is not None:
@@ -298,7 +313,7 @@ class LifeguardCore(CoreActor):
 
         lifeguard = self.lifeguard
         iff = self.iff
-        dispatch_cost = self.costs.dispatch_cost
+        dispatch_cost = self._dispatch_cost
         # Batched backend: delivery decisions (wants / version consume /
         # IF check / IF invalidation) never depend on handler effects
         # within a record — handlers touch only lifeguard metadata and
@@ -306,7 +321,7 @@ class LifeguardCore(CoreActor):
         # collected and handed to handle_block() in one call. Costs and
         # metadata-access order are identical by the handle_block
         # contract; only the number of Python-level dispatches shrinks.
-        block = [] if self.engine.batched else None
+        block = [] if self._batched else None
         for event in self.it.process(record):
             if not lifeguard.wants(event):
                 continue  # no handler registered: hardware drops the event
@@ -431,7 +446,7 @@ class LifeguardCore(CoreActor):
             return 0
         cost = 0
         advertised = self._advertise_target(tid, processed)
-        threshold = self.config.delayed_advertising_threshold
+        threshold = self._advert_threshold
         if threshold and processed - advertised > threshold:
             if self.tracer is not None:
                 self.tracer.emit("advert", "refresh_flush", actor=self.name,

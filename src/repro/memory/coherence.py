@@ -91,6 +91,13 @@ class CoherentMemorySystem:
         self.line_bytes = config.line_bytes
         self._l1 = [SetAssocCache(config.l1_config) for _ in range(num_cores)]
         self._l2 = SetAssocCache(config.l2_config)
+        # Latency constants hoisted off the per-access path (the config
+        # objects are frozen; chasing two attribute levels per access is
+        # pure overhead).
+        self._l1_latency = config.l1_config.access_latency
+        self._miss_latency = (config.l1_config.access_latency
+                              + config.l2_config.access_latency)
+        self._memory_latency = config.memory_latency
         self._evicted_tags = {}  # line -> (last_writer, readers)
         #: Optional TSO hook: called as f(write_core, line, reader_conflicts)
         #: and returns the set of reader cores whose WAR arcs should be
@@ -145,7 +152,7 @@ class CoherentMemorySystem:
         evicted = self._l2.insert(line, entry)
         if evicted is not None:
             self._evict_l2(*evicted)
-        return entry, self.config.memory_latency
+        return entry, self._memory_latency
 
     def _evict_l2(self, line: int, entry: _DirEntry) -> None:
         """Inclusive eviction: drop the line from every L1, preserve tags."""
@@ -168,7 +175,6 @@ class CoherentMemorySystem:
             self._evict_l1(core, *evicted)
 
     def _read(self, core: int, line: int, rid: int) -> AccessResult:
-        l1_lat = self.config.l1_config.access_latency
         state = self._l1[core].lookup(line)
         conflicts: List[Conflict] = []
         if state is not None:
@@ -177,10 +183,10 @@ class CoherentMemorySystem:
             if entry is None:
                 raise SimulationError("inclusion violated: L1 hit without L2 entry")
             entry.readers[core] = rid
-            return AccessResult(l1_lat)
+            return AccessResult(self._l1_latency)
 
         self.l1_misses[core] += 1
-        latency = l1_lat + self.config.l2_config.access_latency
+        latency = self._miss_latency
         entry, extra = self._dir_fetch(line)
         if extra:
             self.l2_misses[core] += 1
@@ -202,7 +208,6 @@ class CoherentMemorySystem:
         return AccessResult(latency, conflicts)
 
     def _write(self, core: int, line: int, rid: int) -> AccessResult:
-        l1_lat = self.config.l1_config.access_latency
         state = self._l1[core].lookup(line)
         if state == _MODIFIED or state == _EXCLUSIVE:
             self.l1_hits[core] += 1
@@ -215,11 +220,11 @@ class CoherentMemorySystem:
             entry.readers.clear()
             entry.owner = core
             entry.sharers = {core}
-            return AccessResult(l1_lat)
+            return AccessResult(self._l1_latency)
 
         # Shared upgrade or outright miss: coherence traffic happens.
         self.l1_misses[core] += 1
-        latency = l1_lat + self.config.l2_config.access_latency
+        latency = self._miss_latency
         entry, extra = self._dir_fetch(line)
         if extra:
             self.l2_misses[core] += 1

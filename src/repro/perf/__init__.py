@@ -493,15 +493,90 @@ def gate(current: Dict[str, object], baseline: Dict[str, object],
     return failures
 
 
-def format_suite(suite_name: str, suite: Dict[str, object]) -> str:
-    """Human-readable rendering of one suite's results."""
+def profile_scenario(fn: Callable, top: int = 25) -> str:
+    """Run ``fn`` once under cProfile; return a top-N text report.
+
+    The profiled run is separate from the timed repeats (profiling
+    overhead would poison wall-clock numbers), but the deterministic
+    counters of the profiled run are included so the hot-function list
+    can be read against the work it actually did.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    schemes = fn()
+    profiler.disable()
+    totals = _totals(schemes)
+    out = io.StringIO()
+    out.write("  counters: " + " ".join(
+        f"{metric}={totals[metric]:,}" for metric in GATE_METRICS
+        if totals[metric]) + "\n")
+    stats = pstats.Stats(profiler, stream=out)
+    for order in ("cumulative", "tottime"):
+        out.write(f"  top {top} by {order}:\n")
+        stats.sort_stats(order).print_stats(top)
+    return out.getvalue()
+
+
+def profile_report(suites, backends, top: int = 25) -> str:
+    """Profile every scenario of every (suite, backend) cell.
+
+    Returns one text document (the ``BENCH_profile.txt`` payload) with a
+    section per scenario — the artifact CI uploads so every perf PR can
+    show *where* the cycles went.
+    """
+    sections = []
+    for suite in suites:
+        for backend in backends:
+            key = suite_key(suite, backend)
+            for name, fn in _suite_scenarios(suite, backend).items():
+                sections.append(f"== {key} :: {name} ==\n"
+                                + profile_scenario(fn, top=top))
+    return "\n".join(sections)
+
+
+def _normalized_speedup(base_scenario, cur_scenario,
+                        base_calib: float, cur_calib: float) -> float:
+    """Calibration-normalized wall-clock speedup vs the baseline (>1 is
+    faster than the committed numbers)."""
+    base_wall = base_scenario["wall_seconds"] / (base_calib or 1.0)
+    cur_wall = cur_scenario["wall_seconds"] / (cur_calib or 1.0)
+    if not cur_wall or not base_wall:
+        return 1.0
+    return base_wall / cur_wall
+
+
+def format_suite(suite_name: str, suite: Dict[str, object],
+                 baseline: Optional[Dict[str, object]] = None,
+                 cur_calib: float = 1.0) -> str:
+    """Human-readable rendering of one suite's results.
+
+    With ``baseline`` (a full report dict), each scenario line also
+    carries its calibration-normalized speedup vs the committed
+    numbers, so BENCH history is self-describing in PR diffs.
+    """
+    base_scenarios = {}
+    base_calib = 1.0
+    if baseline is not None:
+        base_suite = baseline.get("suites", {}).get(suite_name)
+        if base_suite is not None:
+            base_scenarios = base_suite["scenarios"]
+            base_calib = baseline.get("calibration_seconds") or 1.0
     lines = [f"suite {suite_name}:"]
     for name, scenario in suite["scenarios"].items():
         metrics = scenario["metrics"]
         rates = scenario["rates"]
+        speedup = ""
+        base = base_scenarios.get(name)
+        if base is not None:
+            ratio = _normalized_speedup(base, scenario, base_calib, cur_calib)
+            speedup = f" [{ratio:.2f}x vs baseline]"
         lines.append(
             f"  {name}: {scenario['wall_seconds']:.3f}s "
-            f"(best of {scenario['repeats']})")
+            f"(best of {scenario['repeats']}){speedup}")
         lines.append(
             f"    sim_cycles={metrics['sim_cycles']:,} "
             f"({rates['sim_cycles_per_sec']:,}/s) "
@@ -558,6 +633,12 @@ def main(argv=None) -> int:
                         choices=["auto", "inline", "pool", "socket"],
                         default="auto",
                         help="sweep backend for --jobs (default auto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="additionally run each scenario once under "
+                             "cProfile and write a per-scenario hot-function "
+                             "report next to the bench report")
+    parser.add_argument("--profile-top", type=int, default=25, metavar="N",
+                        help="functions per profile section (default 25)")
     args = parser.parse_args(argv)
 
     suites = SUITES if args.suite == "all" else (args.suite,)
@@ -571,9 +652,21 @@ def main(argv=None) -> int:
                           backends=backends)
     keys = [suite_key(suite, backend)
             for suite in suites for backend in backends]
+    try:
+        committed = load_baseline(baseline_path)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError):
+        committed = None
     for key in keys:
-        print(format_suite(key, report["suites"][key]))
+        print(format_suite(key, report["suites"][key], baseline=committed,
+                           cur_calib=report["calibration_seconds"]))
     print(f"calibration: {report['calibration_seconds']:.4f}s")
+
+    if args.profile:
+        profile_path = (Path(args.output) if args.output
+                        else baseline_path).with_name("BENCH_profile.txt")
+        profile_path.write_text(
+            profile_report(suites, backends, top=args.profile_top))
+        print(f"wrote profile report to {profile_path}")
 
     if args.gate and not regen:
         try:

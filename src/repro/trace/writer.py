@@ -116,10 +116,10 @@ class TraceWriter:
     """
 
     __slots__ = ("categories", "events", "_engine", "_ring", "_stream",
-                 "_owns_stream", "emitted")
+                 "_owns_stream", "emitted", "_pending", "_flush_every")
 
     def __init__(self, *, stream=None, categories: Optional[Iterable[str]] = None,
-                 ring: int = 0, keep: bool = False):
+                 ring: int = 0, keep: bool = False, flush_every: int = 1):
         if categories is not None:
             categories = frozenset(categories)
             unknown = sorted(categories - _CATEGORY_SET)
@@ -130,6 +130,8 @@ class TraceWriter:
         self.categories = categories
         if ring < 0:
             raise ConfigurationError("trace ring size must be >= 0")
+        if flush_every < 1:
+            raise ConfigurationError("trace flush_every must be >= 1")
         self._ring = deque(maxlen=ring) if ring else None
         self._stream = stream
         self._owns_stream = False
@@ -137,10 +139,16 @@ class TraceWriter:
         self._engine = None
         #: Total events recorded (post-filter), for tests and stats.
         self.emitted = 0
+        #: Deferred stream rows: payloads recorded but not yet encoded.
+        #: Serialization is batched at flush points; ``flush_every=1``
+        #: (the default) keeps the historical one-line-per-emit flush
+        #: so ``tail -f`` readers never fall behind the simulation.
+        self._pending: List[dict] = []
+        self._flush_every = flush_every
 
     @classmethod
     def to_path(cls, path: str, *, categories=None, ring: int = 0,
-                keep: bool = False) -> "TraceWriter":
+                keep: bool = False, flush_every: int = 1) -> "TraceWriter":
         """Open ``path`` for writing and stream events into it.
 
         The constructor runs (and validates its arguments) *before* the
@@ -150,7 +158,7 @@ class TraceWriter:
         written on one machine and served from another is byte-identical.
         """
         writer = cls(stream=None, categories=categories, ring=ring,
-                     keep=keep)
+                     keep=keep, flush_every=flush_every)
         writer._stream = open(path, "w", encoding="utf-8")
         writer._owns_stream = True
         return writer
@@ -169,32 +177,66 @@ class TraceWriter:
     # -- the hot path ---------------------------------------------------------
 
     def emit(self, cat: str, event: str, **fields) -> None:
-        """Record one event (dropped silently if ``cat`` is filtered)."""
+        """Record one event (dropped silently if ``cat`` is filtered).
+
+        Zero-allocation contract: the kwargs dict that the call itself
+        creates *is* the stored payload — no second dict is built, no
+        per-event encoder is constructed, and in deferred stream mode
+        (``flush_every > 1``) no JSON is produced here at all. Field
+        order in the payload is irrelevant: every encoder downstream
+        (:func:`encode_event`, :func:`trace_hash`) sorts keys.
+        """
         if self.categories is not None and cat not in self.categories:
             return
-        payload: Dict[str, object] = {
-            "cycle": self._engine.now if self._engine is not None else 0,
-            "cat": cat,
-            "event": event,
-        }
+        payload: Dict[str, object] = fields
         passthrough = _PASSTHROUGH_TYPES
-        for key, value in fields.items():
-            payload[key] = value if type(value) in passthrough else _sanitize(value)
+        for key, value in payload.items():
+            if type(value) not in passthrough:
+                payload[key] = _sanitize(value)
+        # Explicit caller-supplied stamps win, matching the historical
+        # build-then-override order.
+        if "cycle" not in payload:
+            payload["cycle"] = self._engine.now if self._engine is not None else 0
+        if "cat" not in payload:
+            payload["cat"] = cat
+        if "event" not in payload:
+            payload["event"] = event
         self.emitted += 1
         if self.events is not None:
             self.events.append(payload)
         if self._ring is not None:
             self._ring.append(payload)
         if self._stream is not None:
-            self._stream.write(encode_event(payload))
-            self._stream.write("\n")
-            self._stream.flush()  # safe for tail -f mid-simulation
+            pending = self._pending
+            pending.append(payload)
+            if len(pending) >= self._flush_every:
+                self.flush()
+
+    def flush(self) -> None:
+        """Batch-encode and write any deferred stream rows.
+
+        Serialization cost is paid here, off the per-event hot path.
+        The concatenated output is byte-identical to the historical
+        one-``write``-per-event form; one OS flush covers the batch.
+        """
+        pending = self._pending
+        if pending:
+            stream = self._stream
+            if stream is not None:
+                encode = encode_event
+                stream.write("".join(
+                    [encode(payload) + "\n" for payload in pending]))
+                stream.flush()  # safe for tail -f mid-simulation
+            pending.clear()
 
     # -- retrieval ------------------------------------------------------------
 
     def snapshot(self) -> List[dict]:
         """The last-N events for crash reports (ring if bounded, else
-        the kept tail, else empty)."""
+        the kept tail, else empty). Deferred stream rows are flushed
+        first so the on-disk trace is current when a crash report is
+        being assembled around this snapshot."""
+        self.flush()
         if self._ring is not None:
             return list(self._ring)
         if self.events is not None:
@@ -202,7 +244,9 @@ class TraceWriter:
         return []
 
     def close(self) -> None:
-        """Close the output stream if this writer opened it."""
+        """Flush deferred rows, then close the stream if this writer
+        opened it. A borrowed stream is flushed but left open."""
+        self.flush()
         if self._owns_stream and self._stream is not None:
             self._stream.close()
             self._stream = None
@@ -212,9 +256,16 @@ class TraceWriter:
 # -- encoding / verification helpers -----------------------------------------
 
 
+#: One shared compact encoder. ``json.dumps`` with non-default options
+#: builds a fresh ``JSONEncoder`` on every call; caching one keeps the
+#: per-line cost to the encode itself. Output is byte-identical to
+#: ``json.dumps(payload, separators=(",", ":"), sort_keys=True)``.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True)
+
+
 def encode_event(payload: dict) -> str:
     """One event as a compact, key-sorted JSON line (no newline)."""
-    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return _ENCODER.encode(payload)
 
 
 def validate_event(payload: dict) -> None:

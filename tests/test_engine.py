@@ -73,11 +73,11 @@ class TestEngine:
         assert exc.value.cycle == 110
         assert engine.now == 110
         assert exc.value.pending_events == 1
-        assert len(engine._heap) == 1
+        assert engine.pending_events == 1
 
-    def test_timeout_pending_events_agree_with_heap_and_crash_report(self):
+    def test_timeout_pending_events_agree_with_queue_and_crash_report(self):
         # SimulationTimeout accounting audit: the budget-tripping event
-        # stays on the heap, pending_events counts it, and the crash
+        # stays queued, pending_events counts it, and the crash
         # report sees exactly the same number.
         from repro.platform.results import crash_report
 
@@ -97,10 +97,10 @@ class TestEngine:
         actor.start()
         with pytest.raises(SimulationTimeout) as exc:
             engine.run(max_cycles=25)
-        assert exc.value.pending_events == len(engine._heap) == 1
+        assert exc.value.pending_events == engine.pending_events == 1
         assert engine.now == exc.value.cycle == 30
         report = crash_report(exc.value)
-        assert report["pending_events"] == len(engine._heap)
+        assert report["pending_events"] == engine.pending_events
 
     def test_timeout_run_resumes_by_executing_tripping_event(self):
         # A second run() call with a larger (or no) budget must resume
@@ -128,7 +128,7 @@ class TestEngine:
         assert actor.finished
         assert actor.steps == [0, 10, 20, 30, 40]  # no step lost/duplicated
         assert actor.buckets.get("x") == 50
-        assert len(engine._heap) == 0
+        assert engine.pending_events == 0
 
     def test_unknown_action_raises(self):
         engine = Engine()
@@ -630,7 +630,7 @@ class TestBatchedBackend:
             with pytest.raises(SimulationTimeout) as exc:
                 engine.run(max_cycles=100)
             return (exc.value.cycle, exc.value.pending_events, engine.now,
-                    len(engine._heap))
+                    engine.pending_events)
         assert trip("event") == trip("batched")
 
     def test_timeout_resume_identical(self):
